@@ -1,0 +1,646 @@
+// Command localitylab is the command-line front end of the locality
+// analysis toolkit. It regenerates every table and figure of the paper
+// (experiment subcommand), and exposes the building blocks: synthetic
+// dataset generation, graph reordering, metric computation and SpMV
+// traversal timing.
+//
+// Usage:
+//
+//	localitylab gen      -kind social|web|er|ba -out g.bin [-scale N] [-seed S]
+//	localitylab reorder  -graph g.bin -alg sb|sb++|go|ro|... -out relabeled.bin
+//	localitylab metrics  -graph g.bin [-aid] [-asym] [-decomp] [-coverage] [-types]
+//	localitylab spmv     -graph g.bin [-threads N] [-iters K] [-dir pull|push|pushread]
+//	localitylab simulate -graph g.bin [-threads N] [-ecs]
+//	localitylab experiment table1|table2|...|table7|fig1|...|fig6|edr|gap|all [-size tiny|standard]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"graphlocality/internal/cachesim"
+	"graphlocality/internal/core"
+	"graphlocality/internal/expt"
+	"graphlocality/internal/gen"
+	"graphlocality/internal/graph"
+	"graphlocality/internal/reorder"
+	"graphlocality/internal/spmv"
+	"graphlocality/internal/trace"
+	"graphlocality/internal/viz"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "reorder":
+		err = cmdReorder(os.Args[2:])
+	case "metrics":
+		err = cmdMetrics(os.Args[2:])
+	case "spmv":
+		err = cmdSpMV(os.Args[2:])
+	case "simulate":
+		err = cmdSimulate(os.Args[2:])
+	case "analytics":
+		err = cmdAnalytics(os.Args[2:])
+	case "advise":
+		err = cmdAdvise(os.Args[2:])
+	case "spy":
+		err = cmdSpy(os.Args[2:])
+	case "trace":
+		err = cmdTrace(os.Args[2:])
+	case "replay":
+		err = cmdReplay(os.Args[2:])
+	case "ihtl":
+		err = cmdIHTL(os.Args[2:])
+	case "experiment":
+		err = cmdExperiment(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "localitylab: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "localitylab:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `localitylab <command> [flags]
+
+Commands:
+  gen         generate a synthetic dataset (social, web, er, ba)
+  reorder     apply a reordering algorithm to a graph file
+  metrics     compute locality metrics of a graph
+  spmv        run and time parallel SpMV traversals
+  simulate    run the trace-based cache/TLB simulation
+  analytics   run graph analytics (bfs, cc, thrifty, sssp, hits, lp, pagerank)
+  advise      classify a dataset's structure and recommend direction + RA
+  spy         render an adjacency-matrix density plot (ASCII or PGM)
+  trace       record a traversal's memory-access trace to a file
+  replay      replay a recorded trace against a cache configuration
+  ihtl        build iHTL flipped blocks and compare misses vs plain pull
+  experiment  regenerate a paper table or figure (table1..table7,
+              fig1..fig6, edr, gap, ihtl, hybrid, hilbert, utilization, all)`)
+}
+
+func loadGraph(path string) (*graph.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return graph.ReadBinary(f)
+}
+
+func saveGraph(g *graph.Graph, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return g.WriteBinary(f)
+}
+
+func cmdSpy(args []string) error {
+	fs := flag.NewFlagSet("spy", flag.ExitOnError)
+	in := fs.String("graph", "", "input graph (binary)")
+	res := fs.Int("res", 48, "plot resolution (buckets per side)")
+	pgm := fs.String("pgm", "", "also write a PGM image to this path")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("-graph is required")
+	}
+	g, err := loadGraph(*in)
+	if err != nil {
+		return err
+	}
+	p := viz.Spy(g, *res)
+	if err := p.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("diagonal mass (±2 buckets): %.1f%%\n", 100*p.DiagonalMass(2))
+	if *pgm != "" {
+		f, err := os.Create(*pgm)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := p.WritePGM(f); err != nil {
+			return err
+		}
+		fmt.Println("wrote", *pgm)
+	}
+	return nil
+}
+
+func cmdAdvise(args []string) error {
+	fs := flag.NewFlagSet("advise", flag.ExitOnError)
+	in := fs.String("graph", "", "input graph (binary)")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("-graph is required")
+	}
+	g, err := loadGraph(*in)
+	if err != nil {
+		return err
+	}
+	a := core.Advise(g)
+	fmt.Println(g)
+	fmt.Println(a)
+	fmt.Printf("\nrecommendation: traverse in %s direction", a.Direction)
+	if a.Reorder == "none" {
+		fmt.Println("; reordering is unlikely to help this structure")
+	} else {
+		fmt.Printf("; reorder with %s first\n", a.Reorder)
+	}
+	return nil
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	kind := fs.String("kind", "social", "dataset kind: social, web, er, ba")
+	scale := fs.Int("scale", 14, "log2 of the vertex count")
+	edgeFac := fs.Int("edgefac", 12, "edges per vertex")
+	seed := fs.Uint64("seed", 42, "generator seed")
+	out := fs.String("out", "", "output graph file (binary); empty prints a summary")
+	fs.Parse(args)
+
+	var g *graph.Graph
+	switch *kind {
+	case "social":
+		g = gen.SocialNetwork(*scale, *edgeFac, *seed)
+	case "web":
+		g = gen.WebGraph(gen.DefaultWebGraph(1<<*scale, *edgeFac, *seed))
+	case "er":
+		g = gen.ErdosRenyi(1<<*scale, (1<<*scale)*(*edgeFac), *seed)
+	case "ba":
+		g = gen.PreferentialAttachment(1<<*scale, *edgeFac, *seed)
+	default:
+		return fmt.Errorf("unknown kind %q", *kind)
+	}
+	fmt.Println(g)
+	if *out == "" {
+		return nil
+	}
+	return saveGraph(g, *out)
+}
+
+func cmdReorder(args []string) error {
+	fs := flag.NewFlagSet("reorder", flag.ExitOnError)
+	in := fs.String("graph", "", "input graph (binary)")
+	algName := fs.String("alg", "ro", "algorithm: identity, random, degsort, hubsort, hubcluster, dbg, rcm, bfs, sb, sb++, go, ro, hybrid")
+	seed := fs.Uint64("seed", 1, "seed for randomized algorithms")
+	out := fs.String("out", "", "output relabeled graph; empty skips writing")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("-graph is required")
+	}
+	g, err := loadGraph(*in)
+	if err != nil {
+		return err
+	}
+	alg, err := reorder.Registry(*algName, *seed)
+	if err != nil {
+		return err
+	}
+	res := reorder.Run(alg, g)
+	fmt.Printf("%s: preprocessing %.3fs, %.1f MB allocated\n",
+		res.Algorithm, res.Elapsed.Seconds(), float64(res.AllocBytes)/1e6)
+	if *out == "" {
+		return nil
+	}
+	return saveGraph(g.Relabel(res.Perm), *out)
+}
+
+func cmdMetrics(args []string) error {
+	fs := flag.NewFlagSet("metrics", flag.ExitOnError)
+	in := fs.String("graph", "", "input graph (binary)")
+	aid := fs.Bool("aid", false, "AID degree distribution")
+	asym := fs.Bool("asym", false, "asymmetricity degree distribution")
+	decomp := fs.Bool("decomp", false, "degree range decomposition")
+	coverage := fs.Bool("coverage", false, "hub coverage curve")
+	types := fs.Bool("types", false, "locality type classification")
+	mrc := fs.Bool("mrc", false, "LRU miss-ratio curve from reuse distances")
+	compress := fs.Bool("compress", false, "gap+varint adjacency compression ratio")
+	util := fs.Bool("utilization", false, "cache-line word utilization")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("-graph is required")
+	}
+	g, err := loadGraph(*in)
+	if err != nil {
+		return err
+	}
+	fmt.Println(g)
+	fmt.Printf("mean AID %.1f, average gap %.1f, reciprocity %.3f\n",
+		core.MeanAID(g), core.AverageGap(g), core.Reciprocity(g))
+	if *aid {
+		s := core.AIDByDegree(g)
+		fmt.Println("AID by in-degree:")
+		for _, i := range s.NonEmpty() {
+			fmt.Printf("  %-12s %.1f\n", s.Bins.Label(i), s.Mean(i))
+		}
+	}
+	if *asym {
+		s := core.AsymmetricityByDegree(g)
+		fmt.Println("Asymmetricity (%) by in-degree:")
+		for _, i := range s.NonEmpty() {
+			fmt.Printf("  %-12s %.1f\n", s.Bins.Label(i), s.Mean(i))
+		}
+	}
+	if *decomp {
+		m := core.DegreeRangeDecomposition(g)
+		fmt.Println("Degree range decomposition (% of in-edges by source class):")
+		for i, row := range m.Pct {
+			if m.EdgeCount[i] == 0 {
+				continue
+			}
+			fmt.Printf("  dst %-10s", m.Classes[i])
+			for _, p := range row {
+				fmt.Printf(" %5.1f", p)
+			}
+			fmt.Println()
+		}
+	}
+	if *coverage {
+		cv := core.HubCoverage(g, core.DefaultCoveragePoints(g.NumVertices()))
+		fmt.Println("Hub coverage (% of edges):")
+		for i, h := range cv.H {
+			fmt.Printf("  H=%-8d in-hubs %5.1f  out-hubs %5.1f\n", h, cv.InHubPct[i], cv.OutHubPct[i])
+		}
+	}
+	if *types {
+		p := core.ClassifyLocalityTypes(g, 64)
+		fmt.Printf("Locality types of %d random accesses: I=%d II=%d III=%d cold=%d\n",
+			p.Total, p.TypeI, p.TypeII, p.TypeIII, p.Cold)
+		pp := core.ClassifyLocalityTypesParallel(g, 64, 4, 1024)
+		fmt.Printf("Parallel (4T): I=%d II=%d III=%d IV=%d V=%d\n",
+			pp.TypeI, pp.TypeII, pp.TypeIII, pp.TypeIV, pp.TypeV)
+	}
+	if *mrc {
+		prof := core.ReuseDistances(g, trace.Pull, 64)
+		curve := prof.MRC()
+		fmt.Println("LRU miss-ratio curve (cache lines -> miss ratio):")
+		for i, sz := range curve.Lines {
+			fmt.Printf("  %-10d %.3f\n", sz, curve.MissRatio[i])
+		}
+	}
+	if *compress {
+		fmt.Printf("gap+varint adjacency: %.0f KB (ratio %.2fx over raw 4B/edge)\n",
+			float64(core.CompressedAdjacencyBytes(g))/1024, core.CompressionRatio(g))
+	}
+	if *util {
+		cfg := cachesim.ScaledL3(g.NumVertices(), cachesim.DefaultVertexCacheFraction)
+		u := core.LineUtilization(g, cfg)
+		fmt.Printf("cache-line utilization: %.2f of 8 words per fetched line (%.0f%%)\n",
+			u.MeanWords(), 100*u.MeanFraction())
+	}
+	return nil
+}
+
+func cmdSpMV(args []string) error {
+	fs := flag.NewFlagSet("spmv", flag.ExitOnError)
+	in := fs.String("graph", "", "input graph (binary)")
+	threads := fs.Int("threads", 0, "worker count (0 = GOMAXPROCS)")
+	iters := fs.Int("iters", 5, "iterations to run")
+	dir := fs.String("dir", "pull", "traversal direction: pull, push, pushread")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("-graph is required")
+	}
+	g, err := loadGraph(*in)
+	if err != nil {
+		return err
+	}
+	e := spmv.New(g, *threads)
+	n := g.NumVertices()
+	src := make([]float64, n)
+	dst := make([]float64, n)
+	for i := range src {
+		src[i] = 1
+	}
+	for it := 0; it < *iters; it++ {
+		var st spmv.Stats
+		switch *dir {
+		case "pull":
+			st = e.Pull(src, dst)
+		case "pushread":
+			st = e.PushRead(src, dst)
+		case "push":
+			for i := range dst {
+				dst[i] = 0
+			}
+			st = e.Push(src, dst)
+		default:
+			return fmt.Errorf("unknown direction %q", *dir)
+		}
+		fmt.Printf("iter %d: %7.2f ms, idle %4.1f%%, steals %d (threads %d)\n",
+			it, float64(st.Elapsed.Microseconds())/1000, st.IdlePct, st.Steals, st.Threads)
+		src, dst = dst, src
+	}
+	return nil
+}
+
+func cmdSimulate(args []string) error {
+	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
+	in := fs.String("graph", "", "input graph (binary)")
+	threads := fs.Int("threads", 4, "emulated threads for interleaved simulation")
+	dirName := fs.String("dir", "pull", "traversal direction: pull, push, pushread")
+	ecs := fs.Bool("ecs", false, "measure effective cache size")
+	fraction := fs.Float64("fraction", cachesim.DefaultVertexCacheFraction,
+		"vertex-data fraction held by the scaled L3")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("-graph is required")
+	}
+	g, err := loadGraph(*in)
+	if err != nil {
+		return err
+	}
+	var dir trace.Direction
+	switch *dirName {
+	case "pull":
+		dir = trace.Pull
+	case "push":
+		dir = trace.Push
+	case "pushread":
+		dir = trace.PushRead
+	default:
+		return fmt.Errorf("unknown direction %q", *dirName)
+	}
+	cfg := cachesim.ScaledL3(g.NumVertices(), *fraction)
+	tlbCfg := cachesim.ScaledTLB(trace.NewLayout(g).FootprintBytes(), 0.10)
+	opts := core.SimOptions{Direction: dir, Threads: *threads, Cache: cfg, TLB: &tlbCfg}
+	if *ecs {
+		opts.SnapshotEvery = int(trace.CountAccesses(g) / 200)
+	}
+	res := core.SimulateSpMV(g, opts)
+	fmt.Printf("cache %s: %d sets x %d ways x %dB (%d KiB), policy %s\n",
+		cfg.Name, cfg.Sets, cfg.Ways, cfg.LineSize, cfg.SizeBytes()/1024, cfg.Policy)
+	fmt.Printf("accesses %d, misses %d (%.2f%%), writebacks %d\n",
+		res.Cache.Accesses, res.Cache.Misses, 100*res.Cache.MissRate(), res.Cache.Writebacks)
+	fmt.Printf("DTLB: %d entries, misses %d (%.3f%%)\n",
+		tlbCfg.Entries, res.TLB.Misses, 100*res.TLB.MissRate())
+	if *ecs {
+		fmt.Printf("effective cache size: %.1f%% over %d snapshots\n", res.ECS, res.Snapshots)
+	}
+	return nil
+}
+
+func cmdExperiment(args []string) error {
+	fs := flag.NewFlagSet("experiment", flag.ExitOnError)
+	sizeName := fs.String("size", "standard", "dataset scale: tiny or standard")
+	csvDir := fs.String("csv", "", "also write machine-readable CSV files into this directory")
+	graphsFlag := fs.String("graphs", "", "comma-separated binary graph files to use instead of the synthetic suite")
+	// The experiment id is the first non-flag argument.
+	var id string
+	if len(args) > 0 && args[0][0] != '-' {
+		id = args[0]
+		args = args[1:]
+	}
+	fs.Parse(args)
+	if id == "" {
+		return fmt.Errorf("experiment id required (table1..table7, fig1..fig6, edr, gap, ihtl, hybrid, hilbert, utilization, all)")
+	}
+	size := expt.Standard
+	if *sizeName == "tiny" {
+		size = expt.Tiny
+	}
+	s := expt.NewSession()
+	ds := expt.Suite(size)
+	if *graphsFlag != "" {
+		ds = nil
+		for _, path := range strings.Split(*graphsFlag, ",") {
+			d, err := datasetFromFile(strings.TrimSpace(path))
+			if err != nil {
+				return err
+			}
+			ds = append(ds, d)
+		}
+	}
+	algs := expt.StandardAlgorithms()
+
+	writeCSV := func(name string, write func(w *os.File) error) error {
+		if *csvDir == "" {
+			return nil
+		}
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+		f, err := os.Create(filepath.Join(*csvDir, name))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return write(f)
+	}
+
+	run := func(one string) error {
+		switch one {
+		case "table1":
+			fmt.Println("== Table I: datasets ==")
+			fmt.Print(expt.RenderTableI(expt.TableI(s, ds)))
+		case "table2":
+			fmt.Println("== Table II: preprocessing overheads ==")
+			fmt.Print(expt.RenderTableII(expt.TableII(s, ds, algs)))
+		case "table3":
+			fmt.Println("== Table III: misses accessing data of vertices with degree > MinDeg ==")
+			fmt.Print(expt.RenderTableIII(expt.TableIII(s, ds, algs)))
+		case "table4":
+			fmt.Println("== Table IV: SpMV execution results ==")
+			rows := expt.TableIV(s, ds, algs)
+			fmt.Print(expt.RenderTableIV(rows))
+			if err := writeCSV("table4.csv", func(w *os.File) error {
+				return expt.WriteTableIVCSV(w, rows)
+			}); err != nil {
+				return err
+			}
+		case "table5":
+			fmt.Println("== Table V: average effective cache size ==")
+			fmt.Print(expt.RenderTableV(expt.TableV(s, ds, algs)))
+		case "table6":
+			fmt.Println("== Table VI: CSC vs CSR read traversals ==")
+			fmt.Print(expt.RenderTableVI(expt.TableVI(s, ds)))
+		case "table7":
+			fmt.Println("== Table VII: SlashBurn vs SlashBurn++ ==")
+			fmt.Print(expt.RenderTableVII(expt.TableVII(s, socialOnly(ds))))
+		case "fig1":
+			for _, d := range ds {
+				series := expt.Fig1(s, d, algs)
+				fmt.Print(expt.RenderSeries(
+					fmt.Sprintf("== Fig 1 (%s): cache miss rate (%%) degree distribution ==", d.Name),
+					series))
+				if err := writeCSV("fig1-"+d.Name+".csv", func(w *os.File) error {
+					return expt.WriteSeriesCSV(w, series)
+				}); err != nil {
+					return err
+				}
+			}
+		case "fig2":
+			for _, d := range socialOnly(ds) {
+				fmt.Printf("== Fig 2 (%s): GCC degree distribution across SB iterations ==\n", d.Name)
+				snaps := expt.Fig2(s, d)
+				fmt.Print(expt.RenderFig2(snaps))
+				if err := writeCSV("fig2-"+d.Name+".csv", func(w *os.File) error {
+					return expt.WriteFig2CSV(w, snaps)
+				}); err != nil {
+					return err
+				}
+			}
+		case "fig3":
+			for _, d := range ds {
+				fmt.Print(expt.RenderSeries(
+					fmt.Sprintf("== Fig 3 (%s): AID degree distribution ==", d.Name),
+					expt.Fig3(s, d)))
+			}
+		case "fig4":
+			social, web, err := contrastPair(ds)
+			if err != nil {
+				return err
+			}
+			series := expt.Fig4(s, social, web)
+			fmt.Print(expt.RenderSeries("== Fig 4: asymmetricity (%) degree distribution ==", series))
+			if err := writeCSV("fig4.csv", func(w *os.File) error {
+				return expt.WriteSeriesCSV(w, series)
+			}); err != nil {
+				return err
+			}
+		case "fig5":
+			social, web, err := contrastPair(ds)
+			if err != nil {
+				return err
+			}
+			fmt.Println("== Fig 5: degree range decomposition ==")
+			res := expt.Fig5(s, []expt.Dataset{social, web})
+			fmt.Print(expt.RenderFig5(res))
+			if err := writeCSV("fig5.csv", func(w *os.File) error {
+				return expt.WriteDecompositionCSV(w, res)
+			}); err != nil {
+				return err
+			}
+		case "fig6":
+			fmt.Println("== Fig 6: edges covered by in-hubs (CSR) vs out-hubs (CSC) ==")
+			res := expt.Fig6(s, ds)
+			fmt.Print(expt.RenderFig6(res))
+			if err := writeCSV("fig6.csv", func(w *os.File) error {
+				return expt.WriteCoverageCSV(w, res)
+			}); err != nil {
+				return err
+			}
+		case "edr":
+			fmt.Println("== §VIII-B2: EDR-restricted Rabbit-Order ==")
+			fmt.Print(expt.RenderEDR(expt.EDRExperiment(s, ds)))
+		case "gap":
+			fmt.Println("== §III-B: optimized engine vs naive framework-style SpMV ==")
+			fmt.Print(expt.RenderGap(expt.FrameworkGap(s, ds)))
+		case "ihtl":
+			fmt.Println("== §VIII-A: iHTL flipped blocks vs plain pull vs Rabbit-Order ==")
+			fmt.Print(expt.RenderIHTL(expt.IHTLExperiment(s, ds)))
+		case "hybrid":
+			fmt.Println("== §VIII-C: cache-aware RA variants and the RO+GO hybrid ==")
+			fmt.Print(expt.RenderHybrid(expt.HybridExperiment(s, contrastOnly(ds))))
+		case "hilbert":
+			fmt.Println("== §IX-A: Hilbert-curve edge ordering vs row COO vs CSC pull ==")
+			fmt.Print(expt.RenderHilbert(expt.HilbertExperiment(s, ds)))
+		case "utilization":
+			fmt.Println("== cache-line word utilization per RA (spatial-locality companion to Table V) ==")
+			fmt.Print(expt.RenderUtilization(expt.UtilizationExperiment(s, contrastOnly(ds), algs)))
+		default:
+			return fmt.Errorf("unknown experiment %q", one)
+		}
+		return nil
+	}
+
+	if id == "all" {
+		for _, one := range []string{"table1", "table2", "table3", "table4", "table5",
+			"table6", "table7", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "edr", "gap",
+			"ihtl", "hybrid", "hilbert", "utilization"} {
+			if err := run(one); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		return nil
+	}
+	return run(id)
+}
+
+// contrastOnly returns one social and one web dataset.
+func contrastOnly(ds []expt.Dataset) []expt.Dataset {
+	var out []expt.Dataset
+	var haveS, haveW bool
+	for _, d := range ds {
+		if d.Kind == expt.SocialNetwork && !haveS {
+			out = append(out, d)
+			haveS = true
+		}
+		if d.Kind == expt.WebGraph && !haveW {
+			out = append(out, d)
+			haveW = true
+		}
+	}
+	if len(out) == 0 {
+		out = ds[:1]
+	}
+	return out
+}
+
+// datasetFromFile wraps a binary graph file as an experiment dataset,
+// classifying its structure with the advisor so contrast-based
+// experiments know which side it belongs to.
+func datasetFromFile(path string) (expt.Dataset, error) {
+	g, err := loadGraph(path)
+	if err != nil {
+		return expt.Dataset{}, err
+	}
+	kind := expt.Uniform
+	switch core.Advise(g).Class {
+	case core.ClassSocial:
+		kind = expt.SocialNetwork
+	case core.ClassWeb:
+		kind = expt.WebGraph
+	}
+	name := filepath.Base(path)
+	return expt.NewDataset(name, kind, "(file: "+path+")", g), nil
+}
+
+func socialOnly(ds []expt.Dataset) []expt.Dataset {
+	var out []expt.Dataset
+	for _, d := range ds {
+		if d.Kind == expt.SocialNetwork {
+			out = append(out, d)
+		}
+	}
+	if len(out) == 0 {
+		out = ds[:1]
+	}
+	return out
+}
+
+func contrastPair(ds []expt.Dataset) (social, web expt.Dataset, err error) {
+	var haveS, haveW bool
+	for _, d := range ds {
+		if d.Kind == expt.SocialNetwork && !haveS {
+			social, haveS = d, true
+		}
+		if d.Kind == expt.WebGraph && !haveW {
+			web, haveW = d, true
+		}
+	}
+	if !haveS || !haveW {
+		return social, web, fmt.Errorf("suite lacks a social/web contrast pair")
+	}
+	return social, web, nil
+}

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"graphlocality/internal/cachesim"
+	"graphlocality/internal/trace"
+)
+
+func cmdTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	in := fs.String("graph", "", "input graph (binary)")
+	out := fs.String("out", "", "output trace file")
+	threads := fs.Int("threads", 4, "emulated threads")
+	dirName := fs.String("dir", "pull", "traversal direction: pull, push, pushread")
+	fs.Parse(args)
+	if *in == "" || *out == "" {
+		return fmt.Errorf("-graph and -out are required")
+	}
+	g, err := loadGraph(*in)
+	if err != nil {
+		return err
+	}
+	dir, err := parseDirection(*dirName)
+	if err != nil {
+		return err
+	}
+	logs := trace.CollectLogs(g, trace.NewLayout(g), dir, *threads)
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := trace.WriteLogs(logs, f); err != nil {
+		return err
+	}
+	fmt.Printf("recorded %d accesses across %d threads to %s\n",
+		trace.TotalAccesses(logs), len(logs), *out)
+	return nil
+}
+
+func cmdReplay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	in := fs.String("trace", "", "input trace file")
+	policyName := fs.String("policy", "drrip", "replacement policy: lru, srrip, brrip, drrip")
+	sets := fs.Int("sets", 64, "cache sets")
+	ways := fs.Int("ways", 8, "cache ways")
+	lineSize := fs.Int("line", 64, "line size in bytes")
+	interval := fs.Int("interval", 1024, "round-robin interleave interval")
+	prefetch := fs.Bool("prefetch", false, "enable next-line prefetcher")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("-trace is required")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	logs, err := trace.ReadLogs(f)
+	if err != nil {
+		return err
+	}
+	var policy cachesim.Policy
+	switch *policyName {
+	case "lru":
+		policy = cachesim.LRU
+	case "srrip":
+		policy = cachesim.SRRIP
+	case "brrip":
+		policy = cachesim.BRRIP
+	case "drrip":
+		policy = cachesim.DRRIP
+	default:
+		return fmt.Errorf("unknown policy %q", *policyName)
+	}
+	cfg := cachesim.Config{
+		Name: "L3", LineSize: *lineSize, Sets: *sets, Ways: *ways,
+		Policy: policy, NextLinePrefetch: *prefetch,
+	}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	c := cachesim.New(cfg)
+	trace.Replay(logs, *interval, func(a trace.Access) { c.Access(a.Addr, a.Write) })
+	st := c.Stats()
+	fmt.Printf("%s %d sets x %d ways (%d KiB), prefetch=%v\n",
+		policy, cfg.Sets, cfg.Ways, cfg.SizeBytes()/1024, *prefetch)
+	fmt.Printf("accesses %d, misses %d (%.2f%%), prefetches %d, writebacks %d\n",
+		st.Accesses, st.Misses, 100*st.MissRate(), st.Prefetches, st.Writebacks)
+	return nil
+}
+
+func parseDirection(name string) (trace.Direction, error) {
+	switch name {
+	case "pull":
+		return trace.Pull, nil
+	case "push":
+		return trace.Push, nil
+	case "pushread":
+		return trace.PushRead, nil
+	}
+	return 0, fmt.Errorf("unknown direction %q", name)
+}

@@ -1,0 +1,22 @@
+// Package graphlocality is a toolkit for analyzing how graph reordering
+// (relabeling) algorithms affect the memory locality of graph processing,
+// reproducing "Locality Analysis of Graph Reordering Algorithms"
+// (Koohi Esfahani, Kilpatrick, Vandierendonck — IISWC 2021).
+//
+// The toolkit consists of:
+//
+//   - internal/graph: CSR/CSC graph representation and permutations
+//   - internal/gen: deterministic synthetic social-network/web-graph generators
+//   - internal/reorder: SlashBurn(++), GOrder, Rabbit-Order(+EDR) and baselines
+//   - internal/cachesim: set-associative cache (LRU/SRRIP/BRRIP/DRRIP) and DTLB
+//   - internal/trace: instrumented SpMV traversals feeding the simulator
+//   - internal/core: N2N AID, miss-rate degree distributions, effective cache
+//     size, asymmetricity, degree range decomposition, hub coverage
+//   - internal/spmv: the parallel work-stealing SpMV engine
+//   - internal/expt: one runner per paper table/figure
+//   - cmd/localitylab: the command-line front end
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for paper-vs-measured results. The benchmarks in
+// bench_test.go regenerate every table and figure of the paper.
+package graphlocality

@@ -1,0 +1,83 @@
+// Social-vs-web: the paper's §VII structural analysis on one social
+// network and one web graph — asymmetricity of hubs (Fig. 4), degree
+// range decomposition (Fig. 5) and hub edge coverage (Fig. 6) — followed
+// by the consequence the paper draws: which traversal direction each
+// dataset prefers (Table VI).
+package main
+
+import (
+	"fmt"
+
+	"graphlocality/internal/core"
+	"graphlocality/internal/gen"
+	"graphlocality/internal/graph"
+	"graphlocality/internal/trace"
+)
+
+func main() {
+	social := gen.SocialNetwork(14, 16, 42)
+	web := gen.WebGraph(gen.DefaultWebGraph(1<<15, 10, 42))
+
+	fmt.Println("social network:", social)
+	fmt.Println("web graph:     ", web)
+
+	// --- Fig. 4: hub symmetry ----------------------------------------
+	fmt.Println("\nmean asymmetricity of in-hubs (share of in-edges not reciprocated):")
+	printHubAsym("social", social)
+	printHubAsym("web   ", web)
+
+	// --- Fig. 5: who feeds the HDV -----------------------------------
+	fmt.Println("\nshare of HDV in-edges arriving from other HDV (degree > sqrt(|V|)):")
+	fmt.Printf("  social: %5.1f%%\n", core.HDVInEdgeShare(social, uint32(social.HubThreshold())))
+	fmt.Printf("  web:    %5.1f%%\n", core.HDVInEdgeShare(web, uint32(web.HubThreshold())))
+
+	// --- Fig. 6: hub coverage -----------------------------------------
+	fmt.Println("\nedges covered by top-H hubs:")
+	printCoverage("social", social)
+	printCoverage("web   ", web)
+
+	// --- Table VI: traversal-direction consequence --------------------
+	fmt.Println("\nsimulated L3 misses, CSC (pull read) vs CSR (push read):")
+	printDirections("social", social)
+	printDirections("web   ", web)
+	fmt.Println("\nexpected: social favours CSC (strong out-hubs are reused on pull);")
+	fmt.Println("web favours CSR (strong in-hubs are reused on push).")
+}
+
+func printHubAsym(name string, g *graph.Graph) {
+	thr := g.HubThreshold()
+	var sum float64
+	var n int
+	for v := uint32(0); v < g.NumVertices(); v++ {
+		if float64(g.InDegree(v)) > thr {
+			sum += core.Asymmetricity(g, v)
+			n++
+		}
+	}
+	if n == 0 {
+		fmt.Printf("  %s: no in-hubs\n", name)
+		return
+	}
+	fmt.Printf("  %s: %5.1f%% over %d in-hubs\n", name, 100*sum/float64(n), n)
+}
+
+func printCoverage(name string, g *graph.Graph) {
+	pts := []int{10, 100, 1000}
+	cv := core.HubCoverage(g, pts)
+	fmt.Printf("  %s:", name)
+	for i, h := range cv.H {
+		fmt.Printf("  H=%d in %5.1f%% / out %5.1f%%", h, cv.InHubPct[i], cv.OutHubPct[i])
+	}
+	fmt.Println()
+}
+
+func printDirections(name string, g *graph.Graph) {
+	pull := core.SimulateSpMV(g, core.SimOptions{Direction: trace.Pull})
+	push := core.SimulateSpMV(g, core.SimOptions{Direction: trace.PushRead})
+	winner := "CSC"
+	if push.Cache.Misses < pull.Cache.Misses {
+		winner = "CSR"
+	}
+	fmt.Printf("  %s: CSC %8d  CSR %8d  -> fewer misses: %s\n",
+		name, pull.Cache.Misses, push.Cache.Misses, winner)
+}

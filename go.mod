@@ -1,0 +1,3 @@
+module graphlocality
+
+go 1.22

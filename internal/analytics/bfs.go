@@ -1,0 +1,122 @@
+// Package analytics implements the graph algorithms the paper's SpMV
+// traversal model represents (§II-B): PageRank-style SpMV lives in
+// internal/spmv; this package provides the frontier-based analytics —
+// BFS, connected components, SSSP — whose dense phases behave like SpMV,
+// plus HITS and label-propagation community detection. They serve as
+// realistic consumers of reordered graphs: reordering changes their
+// memory locality exactly as it does for SpMV.
+package analytics
+
+import (
+	"graphlocality/internal/graph"
+)
+
+// BFSResult holds the outcome of a breadth-first search.
+type BFSResult struct {
+	// Depth[v] is the hop distance from the source, or NotReached.
+	Depth []uint32
+	// Parent[v] is the BFS tree parent, or graph.NoVertex for the source
+	// and unreached vertices.
+	Parent []uint32
+	// Iterations counts frontier expansions.
+	Iterations int
+	// PushSteps and PullSteps count how many iterations ran in each
+	// direction under the direction-optimizing heuristic.
+	PushSteps, PullSteps int
+}
+
+// NotReached marks vertices the search did not reach.
+const NotReached = ^uint32(0)
+
+// BFS runs a direction-optimizing breadth-first search from src over the
+// out-edges of g (Beamer-style): iterations switch from top-down (push,
+// scanning the frontier's out-edges) to bottom-up (pull, scanning
+// unvisited vertices' in-edges) when the frontier grows beyond 1/alpha of
+// the remaining edges — mirroring the push/pull duality of §II-F.
+func BFS(g *graph.Graph, src uint32) BFSResult {
+	n := g.NumVertices()
+	res := BFSResult{
+		Depth:  make([]uint32, n),
+		Parent: make([]uint32, n),
+	}
+	for i := range res.Depth {
+		res.Depth[i] = NotReached
+		res.Parent[i] = graph.NoVertex
+	}
+	if n == 0 {
+		return res
+	}
+	res.Depth[src] = 0
+
+	frontier := []uint32{src}
+	visited := make([]bool, n)
+	visited[src] = true
+	var depth uint32
+
+	// Direction heuristic state.
+	const alpha = 14
+	remainingEdges := g.NumEdges()
+
+	for len(frontier) > 0 {
+		depth++
+		res.Iterations++
+		// Estimate the frontier's out-edge mass.
+		var frontierEdges uint64
+		for _, v := range frontier {
+			frontierEdges += uint64(g.OutDegree(v))
+		}
+		bottomUp := frontierEdges*alpha > remainingEdges
+		remainingEdges -= frontierEdges
+
+		var next []uint32
+		if bottomUp {
+			res.PullSteps++
+			// Pull: every unvisited vertex scans its in-neighbours for a
+			// frontier member.
+			inFrontier := make([]bool, n)
+			for _, v := range frontier {
+				inFrontier[v] = true
+			}
+			for v := uint32(0); v < n; v++ {
+				if visited[v] {
+					continue
+				}
+				for _, u := range g.InNeighbors(v) {
+					if inFrontier[u] {
+						visited[v] = true
+						res.Depth[v] = depth
+						res.Parent[v] = u
+						next = append(next, v)
+						break
+					}
+				}
+			}
+		} else {
+			res.PushSteps++
+			for _, v := range frontier {
+				for _, u := range g.OutNeighbors(v) {
+					if !visited[u] {
+						visited[u] = true
+						res.Depth[u] = depth
+						res.Parent[u] = v
+						next = append(next, u)
+					}
+				}
+			}
+		}
+		frontier = next
+	}
+	return res
+}
+
+// Reached returns the number of vertices the search reached (including
+// the source).
+func (r BFSResult) Reached() int {
+	n := 0
+	for _, d := range r.Depth {
+		if d != NotReached {
+			n++
+		}
+	}
+	return n
+}

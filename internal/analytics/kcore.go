@@ -1,0 +1,80 @@
+package analytics
+
+import "graphlocality/internal/graph"
+
+// KCoreResult holds the core decomposition of the undirected view.
+type KCoreResult struct {
+	// Coreness[v] is the largest k such that v belongs to the k-core.
+	Coreness []uint32
+	// MaxCore is the degeneracy of the graph.
+	MaxCore uint32
+}
+
+// KCore computes the core decomposition with the linear-time peeling
+// algorithm (Batagelj–Zaveršnik): repeatedly remove the minimum-degree
+// vertex; its degree at removal is its coreness. The k-core structure is
+// the formal version of SlashBurn's intuition (§VI-A): slashing hubs
+// peels the graph shell by shell, and the GCC's residue after a few
+// iterations is the low-coreness interior.
+func KCore(g *graph.Graph) KCoreResult {
+	und := g.Undirected()
+	n := und.NumVertices()
+	res := KCoreResult{Coreness: make([]uint32, n)}
+	if n == 0 {
+		return res
+	}
+
+	deg := make([]uint32, n)
+	maxDeg := uint32(0)
+	for v := uint32(0); v < n; v++ {
+		deg[v] = und.OutDegree(v)
+		if deg[v] > maxDeg {
+			maxDeg = deg[v]
+		}
+	}
+
+	// Bucket sort vertices by degree (bin[d] = start index of degree d).
+	bin := make([]uint32, maxDeg+2)
+	for _, d := range deg {
+		bin[d+1]++
+	}
+	for d := uint32(1); d <= maxDeg+1; d++ {
+		bin[d] += bin[d-1]
+	}
+	pos := make([]uint32, n)  // position of vertex in vert
+	vert := make([]uint32, n) // vertices sorted by current degree
+	start := make([]uint32, maxDeg+1)
+	copy(start, bin[:maxDeg+1])
+	cur := make([]uint32, maxDeg+1)
+	copy(cur, start)
+	for v := uint32(0); v < n; v++ {
+		pos[v] = cur[deg[v]]
+		vert[pos[v]] = v
+		cur[deg[v]]++
+	}
+
+	for i := uint32(0); i < n; i++ {
+		v := vert[i]
+		res.Coreness[v] = deg[v]
+		if deg[v] > res.MaxCore {
+			res.MaxCore = deg[v]
+		}
+		for _, u := range und.OutNeighbors(v) {
+			if deg[u] > deg[v] {
+				// Move u to the front of its degree bucket, then shrink
+				// its degree.
+				du := deg[u]
+				pu := pos[u]
+				pw := start[du]
+				w := vert[pw]
+				if u != w {
+					vert[pu], vert[pw] = w, u
+					pos[u], pos[w] = pw, pu
+				}
+				start[du]++
+				deg[u]--
+			}
+		}
+	}
+	return res
+}

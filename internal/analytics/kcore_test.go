@@ -1,0 +1,136 @@
+package analytics
+
+import (
+	"testing"
+	"testing/quick"
+
+	"graphlocality/internal/gen"
+	"graphlocality/internal/graph"
+)
+
+func TestKCoreTriangleWithTail(t *testing.T) {
+	// Triangle 0-1-2 (2-core) with a pendant 3 attached to 0 (1-core).
+	g := graph.FromEdges(4, []graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 0}, {Src: 0, Dst: 3},
+	})
+	res := KCore(g)
+	want := []uint32{2, 2, 2, 1}
+	for v, k := range res.Coreness {
+		if k != want[v] {
+			t.Errorf("Coreness[%d] = %d, want %d", v, k, want[v])
+		}
+	}
+	if res.MaxCore != 2 {
+		t.Errorf("MaxCore = %d", res.MaxCore)
+	}
+}
+
+func TestKCoreClique(t *testing.T) {
+	// A 5-clique is a 4-core throughout.
+	edges := []graph.Edge{}
+	for i := uint32(0); i < 5; i++ {
+		for j := uint32(0); j < 5; j++ {
+			if i != j {
+				edges = append(edges, graph.Edge{Src: i, Dst: j})
+			}
+		}
+	}
+	res := KCore(graph.FromEdges(5, edges))
+	for v, k := range res.Coreness {
+		if k != 4 {
+			t.Fatalf("Coreness[%d] = %d, want 4", v, k)
+		}
+	}
+}
+
+func TestKCoreEmptyAndIsolated(t *testing.T) {
+	if KCore(graph.FromEdges(0, nil)).MaxCore != 0 {
+		t.Error("empty graph MaxCore != 0")
+	}
+	res := KCore(graph.FromEdges(3, nil))
+	for _, k := range res.Coreness {
+		if k != 0 {
+			t.Error("isolated vertices must have coreness 0")
+		}
+	}
+}
+
+// Property: coreness matches a reference iterative-peeling implementation.
+func TestKCoreMatchesReference(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := uint32(seed%60 + 1)
+		g := gen.ErdosRenyi(n, int(seed%200), seed)
+		got := KCore(g)
+		want := referenceKCore(g)
+		for v := range want {
+			if got.Coreness[v] != want[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// referenceKCore peels iteratively: for k = 1,2,..., repeatedly delete
+// vertices with residual degree < k.
+func referenceKCore(g *graph.Graph) []uint32 {
+	und := g.Undirected()
+	n := und.NumVertices()
+	coreness := make([]uint32, n)
+	alive := make([]bool, n)
+	deg := make([]int, n)
+	for v := uint32(0); v < n; v++ {
+		alive[v] = true
+		deg[v] = len(und.OutNeighbors(v))
+	}
+	for k := uint32(1); ; k++ {
+		// Peel everything below k.
+		changed := true
+		for changed {
+			changed = false
+			for v := uint32(0); v < n; v++ {
+				if alive[v] && deg[v] < int(k) {
+					alive[v] = false
+					changed = true
+					for _, u := range und.OutNeighbors(v) {
+						if alive[u] {
+							deg[u]--
+						}
+					}
+				}
+			}
+		}
+		anyAlive := false
+		for v := uint32(0); v < n; v++ {
+			if alive[v] {
+				coreness[v] = k
+				anyAlive = true
+			}
+		}
+		if !anyAlive {
+			return coreness
+		}
+	}
+}
+
+func TestKCoreSlashBurnConnection(t *testing.T) {
+	// The paper's §VI-A observation in k-core terms: power-law graphs
+	// have a small dense core and a vast low-coreness periphery.
+	g := gen.SocialNetwork(12, 12, 3)
+	res := KCore(g)
+	var lowCore int
+	for _, k := range res.Coreness {
+		if k <= 2 {
+			lowCore++
+		}
+	}
+	if res.MaxCore < 5 {
+		t.Errorf("social network degeneracy %d suspiciously low", res.MaxCore)
+	}
+	if frac := float64(lowCore) / float64(len(res.Coreness)); frac < 0.2 {
+		t.Errorf("only %.0f%% of vertices in the periphery — not heavy-tailed", 100*frac)
+	}
+}

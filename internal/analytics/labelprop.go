@@ -1,0 +1,64 @@
+package analytics
+
+import "graphlocality/internal/graph"
+
+// CommunityResult is a label-propagation community assignment.
+type CommunityResult struct {
+	Label       []uint32
+	Iterations  int
+	Communities int
+}
+
+// LabelPropagation runs synchronous majority label propagation (Zhu &
+// Ghahramani, paper ref. [38]) over the undirected view: every vertex
+// adopts the most frequent label among its neighbours, ties broken toward
+// the smallest label; the process stops at a fixed point or maxIters.
+// Community detection is one of the SpMV-shaped analytics of §II-B and a
+// structural cousin of Rabbit-Order's clustering.
+func LabelPropagation(g *graph.Graph, maxIters int) CommunityResult {
+	und := g.Undirected()
+	n := und.NumVertices()
+	label := make([]uint32, n)
+	for i := range label {
+		label[i] = uint32(i)
+	}
+	res := CommunityResult{Label: label}
+	counts := make(map[uint32]int, 16)
+	for it := 0; it < maxIters; it++ {
+		res.Iterations++
+		changed := false
+		next := make([]uint32, n)
+		for v := uint32(0); v < n; v++ {
+			nbrs := und.OutNeighbors(v)
+			if len(nbrs) == 0 {
+				next[v] = label[v]
+				continue
+			}
+			clear(counts)
+			for _, u := range nbrs {
+				counts[label[u]]++
+			}
+			best := label[v]
+			bestCount := counts[best] // current label wins ties
+			for l, c := range counts {
+				if c > bestCount || (c == bestCount && l < best) {
+					best, bestCount = l, c
+				}
+			}
+			next[v] = best
+			if best != label[v] {
+				changed = true
+			}
+		}
+		copy(label, next)
+		if !changed {
+			break
+		}
+	}
+	seen := make(map[uint32]struct{})
+	for _, l := range label {
+		seen[l] = struct{}{}
+	}
+	res.Communities = len(seen)
+	return res
+}

@@ -1,0 +1,88 @@
+package analytics
+
+import (
+	"testing"
+	"testing/quick"
+
+	"graphlocality/internal/gen"
+	"graphlocality/internal/graph"
+)
+
+func TestTriangleCountKnownGraphs(t *testing.T) {
+	// A triangle.
+	tri := graph.FromEdges(3, []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 0}})
+	if got := TriangleCount(tri); got != 1 {
+		t.Errorf("triangle: %d, want 1", got)
+	}
+	// K4 has 4 triangles.
+	edges := []graph.Edge{}
+	for i := uint32(0); i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			edges = append(edges, graph.Edge{Src: i, Dst: j})
+		}
+	}
+	if got := TriangleCount(graph.FromEdges(4, edges)); got != 4 {
+		t.Errorf("K4: %d, want 4", got)
+	}
+	// A path has none.
+	if got := TriangleCount(gen.Ring(2)); got != 0 {
+		t.Errorf("2-ring: %d, want 0", got)
+	}
+	// Ring of length >= 4 has none; ring of 3 is a triangle.
+	if got := TriangleCount(gen.Ring(5)); got != 0 {
+		t.Errorf("5-ring: %d, want 0", got)
+	}
+	if got := TriangleCount(gen.Ring(3)); got != 1 {
+		t.Errorf("3-ring: %d, want 1", got)
+	}
+}
+
+func TestTriangleCountMatchesBruteForce(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := uint32(seed%30 + 3)
+		g := gen.ErdosRenyi(n, int(seed%120), seed)
+		return TriangleCount(g) == bruteForceTriangles(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func bruteForceTriangles(g *graph.Graph) uint64 {
+	und := g.Undirected()
+	n := und.NumVertices()
+	adj := func(a, b uint32) bool { return und.HasEdge(a, b) }
+	var c uint64
+	for a := uint32(0); a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if !adj(a, b) {
+				continue
+			}
+			for x := b + 1; x < n; x++ {
+				if adj(a, x) && adj(b, x) {
+					c++
+				}
+			}
+		}
+	}
+	return c
+}
+
+func TestClusteringCoefficient(t *testing.T) {
+	tri := graph.FromEdges(3, []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 0}})
+	if got := ClusteringCoefficient(tri); got != 1 {
+		t.Errorf("triangle clustering = %v, want 1", got)
+	}
+	if ClusteringCoefficient(gen.Ring(6)) != 0 {
+		t.Error("ring clustering should be 0")
+	}
+	if ClusteringCoefficient(graph.FromEdges(2, nil)) != 0 {
+		t.Error("edgeless clustering should be 0")
+	}
+	// Social networks cluster far more than uniform graphs.
+	social := ClusteringCoefficient(gen.SocialNetwork(11, 8, 5))
+	uniform := ClusteringCoefficient(gen.ErdosRenyi(2048, 16000, 5))
+	if social <= uniform {
+		t.Errorf("social clustering %.4f not above uniform %.4f", social, uniform)
+	}
+}

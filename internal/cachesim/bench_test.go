@@ -1,0 +1,42 @@
+package cachesim
+
+import "testing"
+
+func benchAccess(b *testing.B, p Policy) {
+	c := New(Config{Name: "b", LineSize: 64, Sets: 1024, Ways: 8, Policy: p})
+	rng := newTestRNG(42)
+	addrs := make([]uint64, 1<<16)
+	for i := range addrs {
+		addrs[i] = rng.next() & 0xFFFFFF
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(addrs[i&(len(addrs)-1)], i&7 == 0)
+	}
+}
+
+func BenchmarkAccessLRU(b *testing.B)   { benchAccess(b, LRU) }
+func BenchmarkAccessSRRIP(b *testing.B) { benchAccess(b, SRRIP) }
+func BenchmarkAccessDRRIP(b *testing.B) { benchAccess(b, DRRIP) }
+
+func BenchmarkTLBAccess(b *testing.B) {
+	t := NewTLB(SkylakeSTLB())
+	rng := newTestRNG(7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Access(rng.next() & 0xFFFFFFF)
+	}
+}
+
+func BenchmarkHierarchyAccess(b *testing.B) {
+	h := NewHierarchy(
+		Config{Name: "L1", LineSize: 64, Sets: 64, Ways: 8, Policy: LRU},
+		Config{Name: "L2", LineSize: 64, Sets: 512, Ways: 8, Policy: LRU},
+		Config{Name: "L3", LineSize: 64, Sets: 2048, Ways: 8, Policy: DRRIP},
+	)
+	rng := newTestRNG(9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Access(rng.next()&0xFFFFFF, false)
+	}
+}

@@ -1,0 +1,45 @@
+package cachesim_test
+
+import (
+	"fmt"
+
+	"graphlocality/internal/cachesim"
+)
+
+func ExampleCache() {
+	c := cachesim.New(cachesim.Config{
+		Name: "toy", LineSize: 64, Sets: 4, Ways: 2, Policy: cachesim.LRU,
+	})
+	fmt.Println("first touch hit:", c.Access(0x1000, false))
+	fmt.Println("reuse hit:      ", c.Access(0x1000, false))
+	fmt.Println("same line hit:  ", c.Access(0x1020, false))
+	st := c.Stats()
+	fmt.Printf("miss rate: %.2f\n", st.MissRate())
+	// Output:
+	// first touch hit: false
+	// reuse hit:       true
+	// same line hit:   true
+	// miss rate: 0.33
+}
+
+func ExampleNewTLB() {
+	tlb := cachesim.NewTLB(cachesim.TLBConfig{PageSize: 4096, Entries: 16, Ways: 4})
+	tlb.Access(0)
+	fmt.Println("same page:", tlb.Access(100))
+	fmt.Println("new page: ", tlb.Access(8192))
+	// Output:
+	// same page: true
+	// new page:  false
+}
+
+func ExampleHierarchy() {
+	h := cachesim.NewHierarchy(
+		cachesim.Config{Name: "L1", LineSize: 64, Sets: 2, Ways: 2, Policy: cachesim.LRU},
+		cachesim.Config{Name: "L2", LineSize: 64, Sets: 16, Ways: 4, Policy: cachesim.LRU},
+	)
+	fmt.Println("cold access serviced by level:", h.Access(0, false))
+	fmt.Println("warm access serviced by level:", h.Access(0, false))
+	// Output:
+	// cold access serviced by level: 2
+	// warm access serviced by level: 0
+}

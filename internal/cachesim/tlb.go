@@ -1,0 +1,49 @@
+package cachesim
+
+// TLB wraps Cache to model a data TLB: a set-associative cache of virtual
+// page translations. The paper reports DTLB misses as a locality metric at
+// page granularity, i.e. at longer reuse distances than L3 misses (§VI-E).
+type TLB struct {
+	c        *Cache
+	pageSize int
+}
+
+// TLBConfig describes the TLB geometry.
+type TLBConfig struct {
+	PageSize int // bytes; power of two (4096 or 2<<20)
+	Entries  int // total translations
+	Ways     int
+}
+
+// SkylakeSTLB returns the 1536-entry, 12-way unified second-level TLB
+// geometry of the paper's Xeon Gold 6130 with 4 KiB pages.
+func SkylakeSTLB() TLBConfig {
+	return TLBConfig{PageSize: 4096, Entries: 1536, Ways: 12}
+}
+
+// NewTLB builds a TLB with LRU replacement.
+func NewTLB(cfg TLBConfig) *TLB {
+	sets := cfg.Entries / cfg.Ways
+	return &TLB{
+		c: New(Config{
+			Name:     "DTLB",
+			LineSize: cfg.PageSize,
+			Sets:     sets,
+			Ways:     cfg.Ways,
+			Policy:   LRU,
+		}),
+		pageSize: cfg.PageSize,
+	}
+}
+
+// Access looks up addr's page translation; returns true on TLB hit.
+func (t *TLB) Access(addr uint64) bool { return t.c.Access(addr, false) }
+
+// Stats returns accumulated statistics.
+func (t *TLB) Stats() Stats { return t.c.Stats() }
+
+// Reset clears contents and statistics.
+func (t *TLB) Reset() { t.c.Reset() }
+
+// PageSize returns the translation granularity in bytes.
+func (t *TLB) PageSize() int { return t.pageSize }

@@ -1,0 +1,84 @@
+package cachesim
+
+import "testing"
+
+func TestUtilizationSingleWord(t *testing.T) {
+	// Touch one word per line over many lines: utilization 1 word/line.
+	tr := NewUtilizationTracker(Config{Name: "t", LineSize: 64, Sets: 4, Ways: 2, Policy: LRU})
+	for i := uint64(0); i < 100; i++ {
+		tr.Access(i*64, false)
+	}
+	st := tr.Stats()
+	if st.Evicted != 100 {
+		t.Fatalf("accounted %d lines, want 100", st.Evicted)
+	}
+	if st.MeanWords() != 1 {
+		t.Errorf("MeanWords = %v, want 1", st.MeanWords())
+	}
+	if st.MeanFraction() != 1.0/8 {
+		t.Errorf("MeanFraction = %v, want 0.125", st.MeanFraction())
+	}
+}
+
+func TestUtilizationFullLine(t *testing.T) {
+	// Touch all 8 words of each line before moving on.
+	tr := NewUtilizationTracker(Config{Name: "t", LineSize: 64, Sets: 4, Ways: 2, Policy: LRU})
+	for i := uint64(0); i < 50; i++ {
+		for w := uint64(0); w < 8; w++ {
+			tr.Access(i*64+w*8, false)
+		}
+	}
+	st := tr.Stats()
+	if st.MeanWords() != 8 {
+		t.Errorf("MeanWords = %v, want 8", st.MeanWords())
+	}
+	if st.MeanFraction() != 1 {
+		t.Errorf("MeanFraction = %v, want 1", st.MeanFraction())
+	}
+}
+
+func TestUtilizationHitMissAgreesWithPlainCache(t *testing.T) {
+	cfg := Config{Name: "t", LineSize: 64, Sets: 8, Ways: 2, Policy: DRRIP}
+	tr := NewUtilizationTracker(cfg)
+	plain := New(cfg)
+	rng := newTestRNG(5)
+	for i := 0; i < 20000; i++ {
+		addr := uint64(rng.next()) & 0xFFFF
+		write := rng.next()%3 == 0
+		if tr.Access(addr, write) != plain.Access(addr, write) {
+			t.Fatalf("tracker diverged from plain cache at access %d", i)
+		}
+	}
+	if tr.CacheStats() != plain.Stats() {
+		t.Errorf("stats diverged: %+v vs %+v", tr.CacheStats(), plain.Stats())
+	}
+	st := tr.Stats()
+	var total uint64
+	for _, c := range st.Histogram {
+		total += c
+	}
+	if total != st.Evicted {
+		t.Errorf("histogram total %d != evicted %d", total, st.Evicted)
+	}
+}
+
+func TestUtilizationPanicsOnHugeLines(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("1KiB lines should panic")
+		}
+	}()
+	NewUtilizationTracker(Config{Name: "t", LineSize: 1024, Sets: 2, Ways: 1, Policy: LRU})
+}
+
+func TestUtilizationEmpty(t *testing.T) {
+	tr := NewUtilizationTracker(Config{Name: "t", LineSize: 64, Sets: 2, Ways: 1, Policy: LRU})
+	st := tr.Stats()
+	if st.MeanWords() != 0 || st.Evicted != 0 {
+		t.Errorf("empty stats = %+v", st)
+	}
+	var u UtilizationStats
+	if u.MeanFraction() != 0 {
+		t.Error("zero-value MeanFraction should be 0")
+	}
+}

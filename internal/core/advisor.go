@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+
+	"graphlocality/internal/graph"
+	"graphlocality/internal/trace"
+)
+
+// The paper's conclusion: "the necessity of considering the structure of
+// datasets in selecting a suitable direction for processing and also in
+// interpreting results" (§X). Advisor operationalizes that: it measures
+// the structural signals of §VII (hub asymmetry, hub coverage, HDV
+// neighbourhood composition) and recommends a traversal direction
+// (Table VI) and a reordering algorithm (Table IV) for the dataset.
+
+// GraphClass is the structural family of a dataset.
+type GraphClass int
+
+const (
+	// ClassUniform graphs have no hubs; reordering is near-neutral.
+	ClassUniform GraphClass = iota
+	// ClassSocial graphs have reciprocal hubs with a tightly connected
+	// high-degree core (Twitter-like).
+	ClassSocial
+	// ClassWeb graphs have asymmetric in-hubs and LDV-dominated
+	// neighbourhoods (crawl-like).
+	ClassWeb
+)
+
+// String names the class.
+func (c GraphClass) String() string {
+	switch c {
+	case ClassUniform:
+		return "uniform"
+	case ClassSocial:
+		return "social-network"
+	case ClassWeb:
+		return "web-graph"
+	}
+	return "unknown"
+}
+
+// Advice is the structural profile and the derived recommendations.
+type Advice struct {
+	Class GraphClass
+
+	// Signals (the §VII metrics).
+	HubAsymmetry   float64 // mean asymmetricity of in-hubs (0..1)
+	HubCount       uint32  // in-hubs + out-hubs above √|V|
+	InHubCoverage  float64 // % edges covered by top √|V| in-hubs
+	OutHubCoverage float64 // % edges covered by top √|V| out-hubs
+	HDVInEdgeShare float64 // % of HDV in-edges arriving from HDV
+	Reciprocity    float64
+
+	// Recommendations.
+	Direction trace.Direction // pull (CSC) or push-read (CSR), per Table VI
+	Reorder   string          // "GO", "RO" or "none", per Table IV
+}
+
+// Advise profiles g and fills in the recommendations.
+func Advise(g *graph.Graph) Advice {
+	a := Advice{}
+	n := g.NumVertices()
+	if n == 0 {
+		a.Reorder = "none"
+		return a
+	}
+	thr := g.HubThreshold()
+
+	// Hub asymmetry.
+	var asymSum float64
+	var inHubs int
+	for v := uint32(0); v < n; v++ {
+		if float64(g.InDegree(v)) > thr {
+			asymSum += Asymmetricity(g, v)
+			inHubs++
+		}
+	}
+	if inHubs > 0 {
+		a.HubAsymmetry = asymSum / float64(inHubs)
+	}
+	a.HubCount = g.CountInHubs() + g.CountOutHubs()
+	a.Reciprocity = Reciprocity(g)
+	a.HDVInEdgeShare = HDVInEdgeShare(g, uint32(thr))
+
+	// Coverage at H = √|V| hubs.
+	h := int(thr)
+	if h < 1 {
+		h = 1
+	}
+	cv := HubCoverage(g, []int{h})
+	a.InHubCoverage = cv.InHubPct[0]
+	a.OutHubCoverage = cv.OutHubPct[0]
+
+	// Classification: no hubs → uniform; symmetric hubs → social;
+	// asymmetric in-hub-dominated → web.
+	switch {
+	case a.HubCount == 0:
+		a.Class = ClassUniform
+	case a.HubAsymmetry > 0.5 && a.InHubCoverage > a.OutHubCoverage:
+		a.Class = ClassWeb
+	default:
+		a.Class = ClassSocial
+	}
+
+	// Direction per Table VI: stronger out-hubs favour pull (CSC),
+	// stronger in-hubs favour push (CSR).
+	if a.InHubCoverage > a.OutHubCoverage {
+		a.Direction = trace.PushRead
+	} else {
+		a.Direction = trace.Pull
+	}
+
+	// RA per Table IV: GO for social networks (temporal reuse of the HDV
+	// core), RO for web graphs (clustering LDV neighbourhoods), nothing
+	// for uniform graphs.
+	switch a.Class {
+	case ClassSocial:
+		a.Reorder = "GO"
+	case ClassWeb:
+		a.Reorder = "RO"
+	default:
+		a.Reorder = "none"
+	}
+	return a
+}
+
+// String renders the advice compactly.
+func (a Advice) String() string {
+	return fmt.Sprintf(
+		"class=%s dir=%s reorder=%s (hub-asym %.2f, in-cov %.1f%%, out-cov %.1f%%, recip %.2f, hubs %d)",
+		a.Class, a.Direction, a.Reorder,
+		a.HubAsymmetry, a.InHubCoverage, a.OutHubCoverage, a.Reciprocity, a.HubCount)
+}

@@ -1,0 +1,66 @@
+package core
+
+import "graphlocality/internal/graph"
+
+// Asymmetricity returns the fraction of v's in-neighbours that are not
+// also out-neighbours (§VII-A):
+//
+//	asym(v) = |{(u,v) ∈ E : (v,u) ∉ E}| / |{(u,v) ∈ E}|
+//
+// It is 0 for vertices whose in-edges are all reciprocated (symmetric) and
+// 1 when none are. Vertices with no in-edges return 0.
+func Asymmetricity(g *graph.Graph, v uint32) float64 {
+	in := g.InNeighbors(v)
+	if len(in) == 0 {
+		return 0
+	}
+	out := g.OutNeighbors(v)
+	// Sorted-merge intersection count.
+	i, j, recip := 0, 0, 0
+	for i < len(in) && j < len(out) {
+		switch {
+		case in[i] < out[j]:
+			i++
+		case in[i] > out[j]:
+			j++
+		default:
+			recip++
+			i++
+			j++
+		}
+	}
+	return float64(len(in)-recip) / float64(len(in))
+}
+
+// AsymmetricityByDegree computes the asymmetricity degree distribution
+// (Fig. 4): vertices binned by in-degree, per-bin mean asymmetricity in
+// percent. Social networks show near-symmetric high in-degree vertices
+// (in-hubs are out-hubs); web graphs show highly asymmetric in-hubs.
+func AsymmetricityByDegree(g *graph.Graph) *DegreeSeries {
+	s := NewDegreeSeries(LogBins(maxU32(g.MaxInDegree(), 1)))
+	for v := uint32(0); v < g.NumVertices(); v++ {
+		d := g.InDegree(v)
+		if d == 0 {
+			continue
+		}
+		s.Add(d, 100*Asymmetricity(g, v))
+	}
+	return s
+}
+
+// Reciprocity returns the fraction of all edges that are reciprocated — a
+// whole-graph symmetry summary.
+func Reciprocity(g *graph.Graph) float64 {
+	if g.NumEdges() == 0 {
+		return 0
+	}
+	var recip uint64
+	for v := uint32(0); v < g.NumVertices(); v++ {
+		for _, u := range g.OutNeighbors(v) {
+			if g.HasEdge(u, v) {
+				recip++
+			}
+		}
+	}
+	return float64(recip) / float64(g.NumEdges())
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"sort"
+
+	"graphlocality/internal/graph"
+)
+
+// CoverageCurve reports, for increasing hub counts H, the percentage of
+// all edges covered by keeping the top-H hubs' data in cache (§VII-B,
+// Fig. 6): InHubPct[i] is the share of edges processed through the H[i]
+// highest in-degree vertices (push/CSR locality); OutHubPct[i] the share
+// through the H[i] highest out-degree vertices (pull/CSC locality).
+type CoverageCurve struct {
+	H         []int
+	InHubPct  []float64
+	OutHubPct []float64
+}
+
+// HubCoverage computes the coverage curve at the given hub counts
+// (typically powers of ten). Web graphs show InHub ≫ OutHub coverage;
+// social networks the opposite.
+func HubCoverage(g *graph.Graph, points []int) CoverageCurve {
+	in := sortedDegreesDesc(g.InDegrees())
+	out := sortedDegreesDesc(g.OutDegrees())
+	m := float64(g.NumEdges())
+	cv := CoverageCurve{H: append([]int(nil), points...)}
+	cv.InHubPct = coverageAt(in, points, m)
+	cv.OutHubPct = coverageAt(out, points, m)
+	return cv
+}
+
+// DefaultCoveragePoints returns 1,10,...,10^k up to |V|.
+func DefaultCoveragePoints(n uint32) []int {
+	var pts []int
+	for h := 1; uint32(h) <= n; h *= 10 {
+		pts = append(pts, h)
+	}
+	return pts
+}
+
+func sortedDegreesDesc(deg []uint32) []uint32 {
+	d := append([]uint32(nil), deg...)
+	sort.Slice(d, func(i, j int) bool { return d[i] > d[j] })
+	return d
+}
+
+func coverageAt(sortedDesc []uint32, points []int, m float64) []float64 {
+	out := make([]float64, len(points))
+	if m == 0 {
+		return out
+	}
+	// Prefix sums at the requested points.
+	var cum uint64
+	pi := 0
+	sort.Ints(points)
+	for i, d := range sortedDesc {
+		cum += uint64(d)
+		for pi < len(points) && i+1 == points[pi] {
+			out[pi] = 100 * float64(cum) / m
+			pi++
+		}
+		if pi == len(points) {
+			break
+		}
+	}
+	// Points beyond |V| get full coverage of the degree mass.
+	for ; pi < len(points); pi++ {
+		out[pi] = 100 * float64(sumU32(sortedDesc)) / m
+	}
+	return out
+}
+
+func sumU32(xs []uint32) uint64 {
+	var s uint64
+	for _, x := range xs {
+		s += uint64(x)
+	}
+	return s
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+
+	"graphlocality/internal/graph"
+)
+
+// DecompMatrix is the degree range decomposition of a graph (§VII-A,
+// Fig. 5): all edges into vertices of an in-degree decade class, binned by
+// the out-degree decade class of their source. Pct[d][s] is the percentage
+// of class-d vertices' incoming edges that originate from class-s sources.
+type DecompMatrix struct {
+	// Classes labels the decade classes ("1-10", "10-100", ...).
+	Classes []string
+	// Pct[dstClass][srcClass] in percent; rows sum to ~100 (non-empty).
+	Pct [][]float64
+	// EdgeCount[dstClass] is the total number of in-edges of the class.
+	EdgeCount []uint64
+}
+
+// decadeClass returns the decade index of degree d: 0 for [1,10), 1 for
+// [10,100), etc. Degree 0 maps to class 0.
+func decadeClass(d uint32) int {
+	c := 0
+	for d >= 10 {
+		d /= 10
+		c++
+	}
+	return c
+}
+
+func decadeLabel(c int) string {
+	lo := uint64(1)
+	for i := 0; i < c; i++ {
+		lo *= 10
+	}
+	return fmt.Sprintf("%s-%s", human(lo), human(lo*10))
+}
+
+func human(x uint64) string {
+	switch {
+	case x >= 1_000_000_000:
+		return fmt.Sprintf("%dB", x/1_000_000_000)
+	case x >= 1_000_000:
+		return fmt.Sprintf("%dM", x/1_000_000)
+	case x >= 1_000:
+		return fmt.Sprintf("%dK", x/1_000)
+	default:
+		return fmt.Sprintf("%d", x)
+	}
+}
+
+// DegreeRangeDecomposition bins every edge (u,v) by the decade class of
+// v's in-degree (row) and u's out-degree (column) and normalizes each row
+// to percentages. The paper uses it to show that HDV of social networks
+// draw most in-edges from other HDV, while web-graph HDV draw theirs from
+// LDV.
+func DegreeRangeDecomposition(g *graph.Graph) DecompMatrix {
+	maxClass := 0
+	for v := uint32(0); v < g.NumVertices(); v++ {
+		if c := decadeClass(g.InDegree(v)); c > maxClass {
+			maxClass = c
+		}
+		if c := decadeClass(g.OutDegree(v)); c > maxClass {
+			maxClass = c
+		}
+	}
+	k := maxClass + 1
+	counts := make([][]uint64, k)
+	for i := range counts {
+		counts[i] = make([]uint64, k)
+	}
+	for v := uint32(0); v < g.NumVertices(); v++ {
+		dst := decadeClass(g.InDegree(v))
+		for _, u := range g.InNeighbors(v) {
+			src := decadeClass(g.OutDegree(u))
+			counts[dst][src]++
+		}
+	}
+	m := DecompMatrix{
+		Classes:   make([]string, k),
+		Pct:       make([][]float64, k),
+		EdgeCount: make([]uint64, k),
+	}
+	for i := 0; i < k; i++ {
+		m.Classes[i] = decadeLabel(i)
+		m.Pct[i] = make([]float64, k)
+		var total uint64
+		for _, c := range counts[i] {
+			total += c
+		}
+		m.EdgeCount[i] = total
+		if total == 0 {
+			continue
+		}
+		for j := 0; j < k; j++ {
+			m.Pct[i][j] = 100 * float64(counts[i][j]) / float64(total)
+		}
+	}
+	return m
+}
+
+// HDVInEdgeShare returns, for vertices with in-degree above minDegree, the
+// percentage of their in-edges that come from sources with out-degree
+// above the same threshold — the single-number summary of Fig. 5's
+// contrast ("for vertices with degree greater than 1K in TwtrMpi, HDV form
+// more than half of the neighbours").
+func HDVInEdgeShare(g *graph.Graph, minDegree uint32) float64 {
+	var total, fromHDV uint64
+	for v := uint32(0); v < g.NumVertices(); v++ {
+		if g.InDegree(v) <= minDegree {
+			continue
+		}
+		for _, u := range g.InNeighbors(v) {
+			total++
+			if g.OutDegree(u) > minDegree {
+				fromHDV++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(fromHDV) / float64(total)
+}

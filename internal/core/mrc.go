@@ -1,0 +1,57 @@
+package core
+
+// MissRatioCurve derives the LRU miss-ratio curve from a reuse-distance
+// profile using Mattson's stack algorithm identity: under fully
+// associative LRU, an access with reuse (stack) distance d hits iff the
+// cache holds more than d lines. The curve maps cache sizes (in lines) to
+// the miss ratio of the profiled access stream.
+//
+// Reuse-distance curves are the classic whole-program locality instrument
+// the paper positions its finer-grained tools against (§I); the MRC makes
+// the reuse profile directly comparable to the simulator's measured miss
+// rates and shows how over-sized a cache is for a given ordering (§VI-F's
+// "caches are even more over-sized" repercussion).
+type MissRatioCurve struct {
+	// Lines[i] is a cache size in lines; MissRatio[i] the corresponding
+	// LRU miss ratio of the profiled stream, including cold misses.
+	Lines     []uint64
+	MissRatio []float64
+}
+
+// MRC evaluates the miss-ratio curve of p at power-of-two cache sizes up
+// to the largest profiled reuse distance.
+func (p ReuseProfile) MRC() MissRatioCurve {
+	var curve MissRatioCurve
+	if p.Total == 0 {
+		return curve
+	}
+	// Suffix sums: misses at size 2^k = cold + Σ buckets with distance ≥ 2^k.
+	maxBucket := 0
+	for i, c := range p.Buckets {
+		if c > 0 {
+			maxBucket = i
+		}
+	}
+	for k := 0; k <= maxBucket+1; k++ {
+		size := uint64(1) << uint(k)
+		var misses uint64 = p.Cold
+		for i := k; i < len(p.Buckets); i++ {
+			misses += p.Buckets[i]
+		}
+		curve.Lines = append(curve.Lines, size)
+		curve.MissRatio = append(curve.MissRatio, float64(misses)/float64(p.Total))
+	}
+	return curve
+}
+
+// WorkingSetLines returns the smallest profiled cache size (in lines)
+// whose LRU miss ratio drops below the target, or 0 if none does — the
+// ordering's working-set knee.
+func (c MissRatioCurve) WorkingSetLines(target float64) uint64 {
+	for i, r := range c.MissRatio {
+		if r <= target {
+			return c.Lines[i]
+		}
+	}
+	return 0
+}

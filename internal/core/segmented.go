@@ -1,0 +1,85 @@
+package core
+
+import (
+	"sync"
+
+	"graphlocality/internal/cachesim"
+	"graphlocality/internal/graph"
+	"graphlocality/internal/trace"
+)
+
+// SegmentedResult is the outcome of the paper's parallelized simulation.
+type SegmentedResult struct {
+	// Misses is the summed miss count over all segments.
+	Misses uint64
+	// Accesses is the total access count (exact).
+	Accesses uint64
+	// Segments is the number of independently simulated stream segments.
+	Segments int
+}
+
+// MissRate returns Misses/Accesses.
+func (r SegmentedResult) MissRate() float64 {
+	if r.Accesses == 0 {
+		return 0
+	}
+	return float64(r.Misses) / float64(r.Accesses)
+}
+
+// SimulateSpMVSegmented implements the paper's phase-2 parallelization
+// (§V-B): "dividing execution duration between threads where for each
+// interval a thread simulates all logged accesses". The interleaved
+// access stream is cut into `segments` equal time slices, each simulated
+// concurrently against its own cache whose state starts cold — the
+// approximation that gives the paper its reported 15% absolute error
+// while keeping the *relative* error between reorderings at 1.4%, which
+// is what the analysis depends on. Use SimulateSpMV for the exact
+// (sequential) numbers.
+func SimulateSpMVSegmented(g *graph.Graph, cfg cachesim.Config, threads, interval, segments int) SegmentedResult {
+	if segments < 1 {
+		segments = 1
+	}
+	if cfg == (cachesim.Config{}) {
+		cfg = cachesim.ScaledL3(g.NumVertices(), cachesim.DefaultVertexCacheFraction)
+	}
+	layout := trace.NewLayout(g)
+
+	// Materialize the interleaved stream once (phase 1 + interleaving).
+	var stream []trace.Access
+	if threads <= 1 {
+		trace.Run(g, layout, trace.Pull, func(a trace.Access) { stream = append(stream, a) })
+	} else {
+		trace.RunParallel(g, layout, trace.Pull, threads, interval, func(a trace.Access) {
+			stream = append(stream, a)
+		})
+	}
+
+	res := SegmentedResult{Accesses: uint64(len(stream)), Segments: segments}
+	per := (len(stream) + segments - 1) / segments
+	misses := make([]uint64, segments)
+	var wg sync.WaitGroup
+	for s := 0; s < segments; s++ {
+		lo := s * per
+		if lo >= len(stream) {
+			break
+		}
+		hi := lo + per
+		if hi > len(stream) {
+			hi = len(stream)
+		}
+		wg.Add(1)
+		go func(s int, seg []trace.Access) {
+			defer wg.Done()
+			c := cachesim.New(cfg)
+			for _, a := range seg {
+				c.Access(a.Addr, a.Write)
+			}
+			misses[s] = c.Stats().Misses
+		}(s, stream[lo:hi])
+	}
+	wg.Wait()
+	for _, m := range misses {
+		res.Misses += m
+	}
+	return res
+}

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"graphlocality/internal/cachesim"
+	"graphlocality/internal/graph"
+	"graphlocality/internal/trace"
+)
+
+// SimOptions configures an SpMV cache simulation.
+type SimOptions struct {
+	// Direction of the traversal (default Pull).
+	Direction trace.Direction
+	// Threads emulated by the paper's two-phase parallel simulation; 1
+	// runs a sequential trace.
+	Threads int
+	// Interval is the per-thread access-interleaving interval (default
+	// 1024 accesses).
+	Interval int
+	// Cache geometry; zero value uses cachesim.ScaledL3 with the default
+	// vertex-cache fraction.
+	Cache cachesim.Config
+	// TLB, when non-nil, is also driven with every access.
+	TLB *cachesim.TLBConfig
+	// SnapshotEvery enables ECS measurement: the cache content is scanned
+	// every SnapshotEvery accesses (0 disables).
+	SnapshotEvery int
+	// PerVertex enables per-vertex hit/miss attribution for random
+	// vertex-data accesses (needed for Fig. 1 and Table III).
+	PerVertex bool
+}
+
+// SimResult carries the counters of one simulated SpMV iteration.
+type SimResult struct {
+	Cache cachesim.Stats
+	TLB   cachesim.Stats
+
+	// VertexAccesses/VertexMisses count the random vertex-data accesses
+	// attributed to the vertex whose *data* was touched (only when
+	// SimOptions.PerVertex). This is the Table III view: reloads of hub
+	// data.
+	VertexAccesses []uint32
+	VertexMisses   []uint32
+
+	// DestAccesses/DestMisses attribute the same random accesses to the
+	// vertex being *processed* when the access was issued (only when
+	// SimOptions.PerVertex). This is the Fig. 1 view: the cost of
+	// processing each degree class — in-hubs read many neighbours and
+	// miss often (§VI-D).
+	DestAccesses []uint32
+	DestMisses   []uint32
+
+	// ECS is the average percentage of cache capacity holding old
+	// vertex-data lines over all snapshots (only when SnapshotEvery > 0).
+	ECS float64
+	// Snapshots is the number of content scans taken.
+	Snapshots int
+}
+
+// SimulateSpMV drives one SpMV traversal of g through the cache simulator
+// per opts and returns the counters. This is the engine behind Fig. 1,
+// Tables III, IV (simulated columns), V and VI.
+func SimulateSpMV(g *graph.Graph, opts SimOptions) SimResult {
+	if opts.Threads < 1 {
+		opts.Threads = 1
+	}
+	if opts.Interval < 1 {
+		opts.Interval = 1024
+	}
+	if opts.Cache == (cachesim.Config{}) {
+		opts.Cache = cachesim.ScaledL3(g.NumVertices(), cachesim.DefaultVertexCacheFraction)
+	}
+	cache := cachesim.New(opts.Cache)
+	var tlb *cachesim.TLB
+	if opts.TLB != nil {
+		tlb = cachesim.NewTLB(*opts.TLB)
+	}
+	layout := trace.NewLayout(g)
+
+	res := SimResult{}
+	if opts.PerVertex {
+		res.VertexAccesses = make([]uint32, g.NumVertices())
+		res.VertexMisses = make([]uint32, g.NumVertices())
+		res.DestAccesses = make([]uint32, g.NumVertices())
+		res.DestMisses = make([]uint32, g.NumVertices())
+	}
+
+	totalLines := float64(opts.Cache.Sets * opts.Cache.Ways)
+	var ecsSum float64
+	var accesses uint64
+
+	sink := func(a trace.Access) {
+		hit := cache.Access(a.Addr, a.Write)
+		if tlb != nil {
+			tlb.Access(a.Addr)
+		}
+		// Attribute only the *random* vertex-data accesses: reads of
+		// neighbours' data in pull/push-read, writes of neighbours' data
+		// in push. The sequential own-data access is not attributed.
+		random := (opts.Direction == trace.Push && a.Kind == trace.KindVertexWrite) ||
+			(opts.Direction != trace.Push && a.Kind == trace.KindVertexRead)
+		if opts.PerVertex && random {
+			res.VertexAccesses[a.Vertex]++
+			res.DestAccesses[a.Dest]++
+			if !hit {
+				res.VertexMisses[a.Vertex]++
+				res.DestMisses[a.Dest]++
+			}
+		}
+		accesses++
+		if opts.SnapshotEvery > 0 && accesses%uint64(opts.SnapshotEvery) == 0 {
+			var dataLines int
+			cache.Snapshot(func(line uint64) {
+				if layout.InOldData(line) {
+					dataLines++
+				}
+			})
+			ecsSum += 100 * float64(dataLines) / totalLines
+			res.Snapshots++
+		}
+	}
+
+	if opts.Threads == 1 {
+		trace.Run(g, layout, opts.Direction, sink)
+	} else {
+		trace.RunParallel(g, layout, opts.Direction, opts.Threads, opts.Interval, sink)
+	}
+
+	res.Cache = cache.Stats()
+	if tlb != nil {
+		res.TLB = tlb.Stats()
+	}
+	if res.Snapshots > 0 {
+		res.ECS = ecsSum / float64(res.Snapshots)
+	}
+	return res
+}
+
+// LineUtilization measures how many 8-byte words of each fetched cache
+// line the random vertex-data accesses of a pull SpMV actually touch,
+// under the given cache geometry — a direct spatial-locality metric:
+// orderings with strong type-I/III locality use most of every line.
+func LineUtilization(g *graph.Graph, cfg cachesim.Config) cachesim.UtilizationStats {
+	if cfg == (cachesim.Config{}) {
+		cfg = cachesim.ScaledL3(g.NumVertices(), cachesim.DefaultVertexCacheFraction)
+	}
+	tr := cachesim.NewUtilizationTracker(cfg)
+	layout := trace.NewLayout(g)
+	trace.Run(g, layout, trace.Pull, func(a trace.Access) {
+		if a.Kind == trace.KindVertexRead {
+			tr.Access(a.Addr, a.Write)
+		}
+	})
+	return tr.Stats()
+}
+
+// MissRateByDegree folds the data-owner attribution into a miss-rate
+// degree distribution: vertices binned by the supplied degree (use
+// out-degree for pull — the number of times that vertex's data is
+// touched), per-bin miss rate in percent over all accesses in the bin.
+func MissRateByDegree(res SimResult, degrees []uint32) *DegreeSeries {
+	return missRateSeries(res.VertexAccesses, res.VertexMisses, degrees)
+}
+
+// ProcessingMissRateByDegree folds the processing-vertex attribution into
+// the cache miss rate degree distribution of Fig. 1: vertices binned by
+// the supplied degree (in-degree for pull — the number of random accesses
+// made while processing them), per-bin miss rate in percent. The paper's
+// §VI-D observation lives here: every RA shows elevated miss rates for
+// hub vertices, whose many neighbours cannot all be cached.
+func ProcessingMissRateByDegree(res SimResult, degrees []uint32) *DegreeSeries {
+	return missRateSeries(res.DestAccesses, res.DestMisses, degrees)
+}
+
+func missRateSeries(accesses, misses, degrees []uint32) *DegreeSeries {
+	var maxDeg uint32 = 1
+	for _, d := range degrees {
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	bins := LogBins(maxDeg)
+	s := NewDegreeSeries(bins)
+	// Aggregate accesses and misses per bin, storing the rate as a
+	// weighted mean: Sum accumulates misses (scaled to percent), Count
+	// accumulates accesses, so Mean() yields the per-bin miss rate.
+	for v, acc := range accesses {
+		if acc == 0 {
+			continue
+		}
+		i := bins.Index(degrees[v])
+		s.Sum[i] += 100 * float64(misses[v])
+		s.Count[i] += uint64(acc)
+	}
+	return s
+}
+
+// MissesAboveDegree returns the total number of simulated misses incurred
+// accessing data of vertices whose degree exceeds minDegree (Table III).
+func MissesAboveDegree(res SimResult, degrees []uint32, minDegree uint32) uint64 {
+	var total uint64
+	for v, m := range res.VertexMisses {
+		if degrees[v] > minDegree {
+			total += uint64(m)
+		}
+	}
+	return total
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"graphlocality/internal/gen"
+	"graphlocality/internal/graph"
+)
+
+func TestAsymmetricityBasic(t *testing.T) {
+	g := graph.FromEdges(3, []graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 0}, // reciprocated
+		{Src: 2, Dst: 1}, // one-way
+	})
+	// Vertex 1: in-neighbours {0, 2}; 0 reciprocated, 2 not -> 0.5.
+	if got := Asymmetricity(g, 1); got != 0.5 {
+		t.Errorf("Asymmetricity = %v, want 0.5", got)
+	}
+	if Asymmetricity(g, 2) != 0 {
+		t.Error("no-in-edge vertex should be 0")
+	}
+	// Vertex 0: in {1}, reciprocated -> 0.
+	if Asymmetricity(g, 0) != 0 {
+		t.Error("fully reciprocated vertex should be 0")
+	}
+}
+
+func TestAsymmetricityContrast(t *testing.T) {
+	// Fig. 4's contrast: social-network hubs near-symmetric, web-graph
+	// hubs highly asymmetric.
+	social := gen.SocialNetwork(12, 16, 7)
+	web := gen.WebGraph(gen.DefaultWebGraph(1<<12, 8, 7))
+
+	hubAsym := func(g *graph.Graph) float64 {
+		thr := g.HubThreshold()
+		var sum float64
+		var n int
+		for v := uint32(0); v < g.NumVertices(); v++ {
+			if float64(g.InDegree(v)) > thr {
+				sum += Asymmetricity(g, v)
+				n++
+			}
+		}
+		if n == 0 {
+			t.Fatal("no in-hubs")
+		}
+		return sum / float64(n)
+	}
+	s, w := hubAsym(social), hubAsym(web)
+	if s >= 0.5 {
+		t.Errorf("social hub asymmetricity %.2f too high", s)
+	}
+	if w <= 0.6 {
+		t.Errorf("web hub asymmetricity %.2f too low", w)
+	}
+}
+
+func TestAsymmetricityByDegree(t *testing.T) {
+	g := gen.SocialNetwork(10, 8, 3)
+	s := AsymmetricityByDegree(g)
+	if len(s.NonEmpty()) == 0 {
+		t.Fatal("empty asymmetricity distribution")
+	}
+	for _, i := range s.NonEmpty() {
+		m := s.Mean(i)
+		if m < 0 || m > 100 {
+			t.Errorf("bin %d mean %.2f outside [0,100]", i, m)
+		}
+	}
+}
+
+func TestReciprocity(t *testing.T) {
+	g := graph.FromEdges(2, []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 0}})
+	if Reciprocity(g) != 1 {
+		t.Error("fully reciprocal graph should have reciprocity 1")
+	}
+	h := graph.FromEdges(2, []graph.Edge{{Src: 0, Dst: 1}})
+	if Reciprocity(h) != 0 {
+		t.Error("one-way edge should have reciprocity 0")
+	}
+	if Reciprocity(graph.FromEdges(2, nil)) != 0 {
+		t.Error("empty graph reciprocity should be 0")
+	}
+}
+
+func TestDecadeClass(t *testing.T) {
+	cases := map[uint32]int{0: 0, 1: 0, 9: 0, 10: 1, 99: 1, 100: 2, 999: 2, 1000: 3}
+	for d, want := range cases {
+		if got := decadeClass(d); got != want {
+			t.Errorf("decadeClass(%d) = %d, want %d", d, got, want)
+		}
+	}
+}
+
+func TestDegreeRangeDecompositionRowsSum(t *testing.T) {
+	g := gen.SocialNetwork(11, 8, 9)
+	m := DegreeRangeDecomposition(g)
+	if len(m.Classes) == 0 {
+		t.Fatal("no classes")
+	}
+	for i, row := range m.Pct {
+		if m.EdgeCount[i] == 0 {
+			continue
+		}
+		var sum float64
+		for _, p := range row {
+			sum += p
+		}
+		if math.Abs(sum-100) > 1e-6 {
+			t.Errorf("row %d (%s) sums to %.4f", i, m.Classes[i], sum)
+		}
+	}
+}
+
+func TestDecompositionContrast(t *testing.T) {
+	// Social HDV receive in-edges predominantly from HDV; web HDV from
+	// LDV (Fig. 5). Use the in-degree hub threshold as the split.
+	social := gen.SocialNetwork(12, 16, 4)
+	web := gen.WebGraph(gen.DefaultWebGraph(1<<12, 8, 4))
+	sThr := uint32(social.HubThreshold())
+	wThr := uint32(web.HubThreshold())
+	s := HDVInEdgeShare(social, sThr)
+	w := HDVInEdgeShare(web, wThr)
+	if s <= w {
+		t.Errorf("HDV in-edge share: social %.1f%% should exceed web %.1f%%", s, w)
+	}
+	if w > 50 {
+		t.Errorf("web HDV get %.1f%% of in-edges from HDV — LDV should dominate", w)
+	}
+}
+
+func TestHDVInEdgeShareEmpty(t *testing.T) {
+	if HDVInEdgeShare(graph.FromEdges(3, nil), 1) != 0 {
+		t.Error("empty graph share should be 0")
+	}
+}
+
+func TestHubCoverageContrast(t *testing.T) {
+	// Fig. 6: web graphs have in-hub coverage ≫ out-hub coverage; social
+	// networks the opposite (out-hubs stronger or comparable).
+	web := gen.WebGraph(gen.DefaultWebGraph(1<<12, 8, 6))
+	pts := DefaultCoveragePoints(web.NumVertices())
+	cv := HubCoverage(web, pts)
+	// At 100 hubs the in-hub coverage must dominate.
+	idx := -1
+	for i, h := range cv.H {
+		if h == 100 {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		t.Fatal("no 100-hub point")
+	}
+	if cv.InHubPct[idx] <= cv.OutHubPct[idx] {
+		t.Errorf("web graph: in-hub coverage %.1f%% not above out-hub %.1f%%",
+			cv.InHubPct[idx], cv.OutHubPct[idx])
+	}
+	// Coverage must be monotone in H and within [0, 100].
+	for i := 1; i < len(cv.H); i++ {
+		if cv.InHubPct[i] < cv.InHubPct[i-1] || cv.OutHubPct[i] < cv.OutHubPct[i-1] {
+			t.Error("coverage not monotone")
+		}
+	}
+	for i := range cv.H {
+		if cv.InHubPct[i] < 0 || cv.InHubPct[i] > 100.0001 {
+			t.Errorf("coverage out of range: %v", cv.InHubPct[i])
+		}
+	}
+}
+
+func TestHubCoverageFullGraph(t *testing.T) {
+	g := gen.Ring(100)
+	cv := HubCoverage(g, []int{100})
+	if math.Abs(cv.InHubPct[0]-100) > 1e-9 || math.Abs(cv.OutHubPct[0]-100) > 1e-9 {
+		t.Errorf("all vertices should cover 100%%: %+v", cv)
+	}
+}
+
+func TestDefaultCoveragePoints(t *testing.T) {
+	pts := DefaultCoveragePoints(5000)
+	want := []int{1, 10, 100, 1000}
+	if len(pts) != len(want) {
+		t.Fatalf("points = %v", pts)
+	}
+	for i := range want {
+		if pts[i] != want[i] {
+			t.Fatalf("points = %v, want %v", pts, want)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package expt
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"graphlocality/internal/reorder"
+)
+
+func parseCSV(t *testing.T, s string) [][]string {
+	t.Helper()
+	recs, err := csv.NewReader(strings.NewReader(s)).ReadAll()
+	if err != nil {
+		t.Fatalf("invalid CSV: %v", err)
+	}
+	return recs
+}
+
+func TestWriteSeriesCSV(t *testing.T) {
+	series := []Series{
+		{Name: "a", Labels: []string{"1", "2-4"}, Values: []float64{1.5, 2.5}},
+		{Name: "b", Labels: []string{"1"}, Values: []float64{9}},
+	}
+	var b strings.Builder
+	if err := WriteSeriesCSV(&b, series); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, b.String())
+	if len(recs) != 4 { // header + 3 points
+		t.Fatalf("records = %d", len(recs))
+	}
+	if recs[0][0] != "series" || recs[1][0] != "a" || recs[3][0] != "b" {
+		t.Errorf("records = %v", recs)
+	}
+}
+
+func TestWriteTableIVCSV(t *testing.T) {
+	s, ds := tinySession()
+	rows := TableIV(s, ds[:1], []reorder.Algorithm{reorder.Identity{}})
+	var b strings.Builder
+	if err := WriteTableIVCSV(&b, rows); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, b.String())
+	if len(recs) != 2 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	if recs[1][1] != "Initial" {
+		t.Errorf("row = %v", recs[1])
+	}
+}
+
+func TestWriteCoverageAndDecompositionCSV(t *testing.T) {
+	s, ds := tinySession()
+	var b strings.Builder
+	if err := WriteCoverageCSV(&b, Fig6(s, ds[:1])); err != nil {
+		t.Fatal(err)
+	}
+	if len(parseCSV(t, b.String())) < 2 {
+		t.Error("coverage CSV too short")
+	}
+	b.Reset()
+	if err := WriteDecompositionCSV(&b, Fig5(s, ds[:1])); err != nil {
+		t.Fatal(err)
+	}
+	if len(parseCSV(t, b.String())) < 2 {
+		t.Error("decomposition CSV too short")
+	}
+	b.Reset()
+	if err := WriteFig2CSV(&b, Fig2(s, ds[0])); err != nil {
+		t.Fatal(err)
+	}
+	if len(parseCSV(t, b.String())) < 2 {
+		t.Error("fig2 CSV too short")
+	}
+}

@@ -1,0 +1,81 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestIHTLExperiment(t *testing.T) {
+	s, ds := tinySession()
+	rows := IHTLExperiment(s, ds[:2])
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.PlainMisses == 0 || r.IHTLMisses == 0 {
+			t.Errorf("%s: zero misses", r.Dataset)
+		}
+		// iHTL must beat the plain pull traversal wherever hubs exist.
+		if r.Hubs > 0 && r.IHTLMisses >= r.PlainMisses {
+			t.Errorf("%s: iHTL %d not below plain %d", r.Dataset, r.IHTLMisses, r.PlainMisses)
+		}
+	}
+	out := RenderIHTL(rows)
+	if !strings.Contains(out, "iHTL") {
+		t.Error("render broken")
+	}
+}
+
+func TestHybridExperiment(t *testing.T) {
+	s, ds := tinySession()
+	rows := HybridExperiment(s, ds[:1])
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5 algorithms", len(rows))
+	}
+	byAlg := map[string]HybridRow{}
+	for _, r := range rows {
+		byAlg[r.Algorithm] = r
+		if r.Misses == 0 || r.Preproc <= 0 {
+			t.Errorf("%s: empty measurements", r.Algorithm)
+		}
+	}
+	// The hybrid must not be (much) worse than plain RO on a social net:
+	// it replaces RO's destructive hub placement with a GOrder pass.
+	if byAlg["RO+GO"].Misses > byAlg["RO"].Misses*11/10 {
+		t.Errorf("hybrid %d misses ≫ RO %d", byAlg["RO+GO"].Misses, byAlg["RO"].Misses)
+	}
+	_ = RenderHybrid(rows)
+}
+
+func TestUtilizationExperiment(t *testing.T) {
+	s, ds := tinySession()
+	rows := UtilizationExperiment(s, ds[:1], StandardAlgorithms())
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.MeanWords < 1 || r.MeanWords > 8 {
+			t.Errorf("%s: words/line %.2f out of [1,8]", r.Algorithm, r.MeanWords)
+		}
+	}
+	out := RenderUtilization(rows)
+	if !strings.Contains(out, "Words/line") {
+		t.Error("render broken")
+	}
+}
+
+func TestHilbertExperiment(t *testing.T) {
+	s, ds := tinySession()
+	rows := HilbertExperiment(s, ds[:2])
+	for _, r := range rows {
+		if r.HilbertMisses == 0 || r.RowMisses == 0 || r.PullMisses == 0 {
+			t.Errorf("%s: zero misses", r.Dataset)
+		}
+		// Hilbert COO must not be worse than row-order COO.
+		if r.HilbertMisses > r.RowMisses {
+			t.Errorf("%s: Hilbert %d worse than row order %d",
+				r.Dataset, r.HilbertMisses, r.RowMisses)
+		}
+	}
+	_ = RenderHilbert(rows)
+}

@@ -1,0 +1,177 @@
+package expt
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"graphlocality/internal/cachesim"
+	"graphlocality/internal/core"
+	"graphlocality/internal/graph"
+	"graphlocality/internal/reorder"
+	"graphlocality/internal/spmv"
+	"graphlocality/internal/trace"
+)
+
+// Session memoizes the expensive intermediate artifacts of an experiment
+// run: generated graphs, reordering results and relabeled graphs. All
+// tables and figures of one invocation share a Session so each reordering
+// is computed exactly once. Not safe for concurrent use.
+type Session struct {
+	// Threads used by the engine and the interleaved simulation.
+	Threads int
+	// CacheFraction is the vertex-data fraction the scaled L3 holds.
+	CacheFraction float64
+	// TLBFraction is the footprint fraction the scaled DTLB covers.
+	TLBFraction float64
+	// Repeats for wall-clock timing of traversals.
+	Repeats int
+
+	graphs    map[string]*graph.Graph
+	reorders  map[string]reorder.Result
+	relabeled map[string]*graph.Graph
+}
+
+// NewSession returns a session with the repo's standard measurement
+// parameters (4 threads, 4% vertex-data cache, 10% footprint TLB, 3
+// timing repeats).
+func NewSession() *Session {
+	return &Session{
+		Threads:       4,
+		CacheFraction: cachesim.DefaultVertexCacheFraction,
+		TLBFraction:   0.10,
+		Repeats:       3,
+		graphs:        make(map[string]*graph.Graph),
+		reorders:      make(map[string]reorder.Result),
+		relabeled:     make(map[string]*graph.Graph),
+	}
+}
+
+// EngineThreads returns the worker count for wall-clock traversals: the
+// session's thread setting capped at the machine's parallelism, so
+// idle-time numbers are not dominated by core oversubscription. The
+// interleaved *simulation* keeps using s.Threads regardless — its results
+// are hardware-independent.
+func (s *Session) EngineThreads() int {
+	if p := runtime.GOMAXPROCS(0); s.Threads > p {
+		return p
+	}
+	return s.Threads
+}
+
+// Graph returns the memoized graph of ds.
+func (s *Session) Graph(ds Dataset) *graph.Graph {
+	if g, ok := s.graphs[ds.Name]; ok {
+		return g
+	}
+	g := ds.Build()
+	s.graphs[ds.Name] = g
+	return g
+}
+
+// Reorder returns the memoized reordering result of alg on ds.
+func (s *Session) Reorder(ds Dataset, alg reorder.Algorithm) reorder.Result {
+	key := ds.Name + "/" + alg.Name()
+	if r, ok := s.reorders[key]; ok {
+		return r
+	}
+	r := reorder.Run(alg, s.Graph(ds))
+	s.reorders[key] = r
+	return r
+}
+
+// Relabeled returns the memoized graph of ds relabeled by alg. Identity
+// short-circuits to the original graph.
+func (s *Session) Relabeled(ds Dataset, alg reorder.Algorithm) *graph.Graph {
+	if _, ok := alg.(reorder.Identity); ok {
+		return s.Graph(ds)
+	}
+	key := ds.Name + "/" + alg.Name()
+	if g, ok := s.relabeled[key]; ok {
+		return g
+	}
+	g := s.Graph(ds).Relabel(s.Reorder(ds, alg).Perm)
+	s.relabeled[key] = g
+	return g
+}
+
+// CacheFor returns the scaled L3 geometry for ds.
+func (s *Session) CacheFor(ds Dataset) cachesim.Config {
+	return cachesim.ScaledL3(s.Graph(ds).NumVertices(), s.CacheFraction)
+}
+
+// TLBFor returns the scaled DTLB geometry for ds.
+func (s *Session) TLBFor(ds Dataset) cachesim.TLBConfig {
+	g := s.Graph(ds)
+	return cachesim.ScaledTLB(trace.NewLayout(g).FootprintBytes(), s.TLBFraction)
+}
+
+// Simulate runs the interleaved-parallel cache+TLB simulation of one pull
+// SpMV over the relabeled graph.
+func (s *Session) Simulate(ds Dataset, alg reorder.Algorithm, opts core.SimOptions) core.SimResult {
+	g := s.Relabeled(ds, alg)
+	if opts.Cache == (cachesim.Config{}) {
+		opts.Cache = s.CacheFor(ds)
+	}
+	if opts.Threads == 0 {
+		opts.Threads = s.Threads
+	}
+	return core.SimulateSpMV(g, opts)
+}
+
+// TimeTraversal measures the wall-clock time and idle percentage of the
+// engine running one traversal of the relabeled graph, taking the best of
+// s.Repeats runs after one warmup (the paper reports steady-state SpMV
+// iteration time).
+func (s *Session) TimeTraversal(ds Dataset, alg reorder.Algorithm, dir trace.Direction) (time.Duration, float64) {
+	g := s.Relabeled(ds, alg)
+	e := spmv.New(g, s.EngineThreads())
+	n := g.NumVertices()
+	src := make([]float64, n)
+	dst := make([]float64, n)
+	for i := range src {
+		src[i] = float64(i%13) + 1
+	}
+	run := func() spmv.Stats {
+		switch dir {
+		case trace.Pull:
+			return e.Pull(src, dst)
+		case trace.PushRead:
+			return e.PushRead(src, dst)
+		default:
+			for i := range dst {
+				dst[i] = 0
+			}
+			return e.Push(src, dst)
+		}
+	}
+	run() // warmup
+	best := run()
+	for i := 1; i < s.Repeats; i++ {
+		if st := run(); st.Elapsed < best.Elapsed {
+			best = st
+		}
+	}
+	return best.Elapsed, best.IdlePct
+}
+
+// StandardAlgorithms returns the paper's algorithm line-up for the main
+// tables: Baseline (Initial), SB, GO, RO.
+func StandardAlgorithms() []reorder.Algorithm {
+	return []reorder.Algorithm{
+		reorder.Identity{},
+		reorder.NewSlashBurn(),
+		reorder.NewGOrder(),
+		reorder.NewRabbitOrder(),
+	}
+}
+
+// fmtDuration renders d the way the paper's tables do (ms for traversals,
+// s for preprocessing).
+func fmtMillis(d time.Duration) string {
+	return fmt.Sprintf("%.1f", float64(d.Microseconds())/1000)
+}
+
+func fmtSeconds(d time.Duration) string {
+	return fmt.Sprintf("%.2f", d.Seconds())
+}

@@ -1,0 +1,374 @@
+package expt
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"graphlocality/internal/core"
+	"graphlocality/internal/reorder"
+	"graphlocality/internal/trace"
+)
+
+// ---------------------------------------------------------------- Table I
+
+// TableIRow is one dataset-inventory row (paper Table I), extended with
+// the structural signals the advisor derives (§VII).
+type TableIRow struct {
+	Name        string
+	Paper       string
+	Kind        Kind
+	V           uint32
+	E           uint64
+	AvgDeg      float64
+	MaxInDeg    uint32
+	Reciprocity float64
+	HubAsym     float64
+	Detected    string // advisor's structural classification
+}
+
+// TableI builds the dataset inventory.
+func TableI(s *Session, datasets []Dataset) []TableIRow {
+	rows := make([]TableIRow, 0, len(datasets))
+	for _, ds := range datasets {
+		g := s.Graph(ds)
+		a := core.Advise(g)
+		rows = append(rows, TableIRow{
+			Name: ds.Name, Paper: ds.Paper, Kind: ds.Kind,
+			V: g.NumVertices(), E: g.NumEdges(),
+			AvgDeg: g.AverageDegree(), MaxInDeg: g.MaxInDegree(),
+			Reciprocity: a.Reciprocity, HubAsym: a.HubAsymmetry,
+			Detected: a.Class.String(),
+		})
+	}
+	return rows
+}
+
+// RenderTableI renders the rows like the paper's Table I.
+func RenderTableI(rows []TableIRow) string {
+	var b strings.Builder
+	w := newTab(&b)
+	fmt.Fprintln(w, "Dataset\tStands for\t|V|\t|E|\tAvgDeg\tMaxInDeg\tRecip\tHubAsym\tType\tDetected")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%.1f\t%d\t%.2f\t%.2f\t%s\t%s\n",
+			r.Name, r.Paper, r.V, r.E, r.AvgDeg, r.MaxInDeg,
+			r.Reciprocity, r.HubAsym, r.Kind, r.Detected)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// --------------------------------------------------------------- Table II
+
+// TableIIRow reports reordering preprocessing cost (paper Table II).
+type TableIIRow struct {
+	Dataset    string
+	Algorithm  string
+	Preprocess time.Duration
+	AllocBytes uint64
+}
+
+// TableII measures preprocessing time and allocation for every RA on
+// every dataset.
+func TableII(s *Session, datasets []Dataset, algs []reorder.Algorithm) []TableIIRow {
+	var rows []TableIIRow
+	for _, ds := range datasets {
+		for _, alg := range algs {
+			if _, ok := alg.(reorder.Identity); ok {
+				continue // the baseline has no preprocessing
+			}
+			r := s.Reorder(ds, alg)
+			rows = append(rows, TableIIRow{
+				Dataset: ds.Name, Algorithm: r.Algorithm,
+				Preprocess: r.Elapsed, AllocBytes: r.AllocBytes,
+			})
+		}
+	}
+	return rows
+}
+
+// RenderTableII renders preprocessing cost rows.
+func RenderTableII(rows []TableIIRow) string {
+	var b strings.Builder
+	w := newTab(&b)
+	fmt.Fprintln(w, "Dataset\tRA\tPreproc (s)\tAlloc (MB)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%s\t%s\t%.1f\n",
+			r.Dataset, r.Algorithm, fmtSeconds(r.Preprocess), float64(r.AllocBytes)/1e6)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// -------------------------------------------------------------- Table III
+
+// TableIIIRow reports simulated misses accessing data of vertices above a
+// degree threshold (paper Table III).
+type TableIIIRow struct {
+	Dataset   string
+	MinDegree uint32
+	// Misses per algorithm name, same order as the algs argument.
+	Algorithms []string
+	Misses     []uint64
+}
+
+// TableIII runs the per-vertex-attributed simulation for each RA and
+// counts misses on data of vertices with out-degree above each threshold.
+// Thresholds scale with the dataset: √|V| (the paper's hub bar) and the
+// average degree (the LDV/HDV bar).
+func TableIII(s *Session, datasets []Dataset, algs []reorder.Algorithm) []TableIIIRow {
+	var rows []TableIIIRow
+	for _, ds := range datasets {
+		g := s.Graph(ds)
+		thresholds := []uint32{
+			uint32(math.Sqrt(float64(g.NumVertices()))),
+			uint32(g.AverageDegree()),
+		}
+		// Per-algorithm simulation, reused across thresholds.
+		names := make([]string, len(algs))
+		missesByAlg := make([]core.SimResult, len(algs))
+		degrees := make([][]uint32, len(algs))
+		for i, alg := range algs {
+			names[i] = alg.Name()
+			missesByAlg[i] = s.Simulate(ds, alg, core.SimOptions{PerVertex: true})
+			degrees[i] = s.Relabeled(ds, alg).OutDegrees()
+		}
+		for _, thr := range thresholds {
+			row := TableIIIRow{Dataset: ds.Name, MinDegree: thr, Algorithms: names}
+			for i := range algs {
+				row.Misses = append(row.Misses, core.MissesAboveDegree(missesByAlg[i], degrees[i], thr))
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+// RenderTableIII renders hub-miss rows.
+func RenderTableIII(rows []TableIIIRow) string {
+	var b strings.Builder
+	w := newTab(&b)
+	if len(rows) > 0 {
+		fmt.Fprintf(w, "Dataset\tMinDeg\t%s\n", strings.Join(rows[0].Algorithms, "\t"))
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%d", r.Dataset, r.MinDegree)
+		for _, m := range r.Misses {
+			fmt.Fprintf(w, "\t%d", m)
+		}
+		fmt.Fprintln(w)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// -------------------------------------------------------------- Table IV
+
+// TableIVRow reports the SpMV execution results of one dataset (paper
+// Table IV): per algorithm, wall time, idle %, simulated L3 misses and
+// simulated DTLB misses.
+type TableIVRow struct {
+	Dataset    string
+	Algorithm  string
+	Time       time.Duration
+	IdlePct    float64
+	L3Misses   uint64
+	TLBMisses  uint64
+	L3MissRate float64
+}
+
+// TableIV runs the real engine (time, idle) and the simulator (L3, DTLB)
+// on every relabeled graph.
+func TableIV(s *Session, datasets []Dataset, algs []reorder.Algorithm) []TableIVRow {
+	var rows []TableIVRow
+	for _, ds := range datasets {
+		tlb := s.TLBFor(ds)
+		for _, alg := range algs {
+			elapsed, idle := s.TimeTraversal(ds, alg, trace.Pull)
+			sim := s.Simulate(ds, alg, core.SimOptions{TLB: &tlb})
+			rows = append(rows, TableIVRow{
+				Dataset: ds.Name, Algorithm: alg.Name(),
+				Time: elapsed, IdlePct: idle,
+				L3Misses: sim.Cache.Misses, TLBMisses: sim.TLB.Misses,
+				L3MissRate: sim.Cache.MissRate(),
+			})
+		}
+	}
+	return rows
+}
+
+// RenderTableIV renders SpMV execution rows.
+func RenderTableIV(rows []TableIVRow) string {
+	var b strings.Builder
+	w := newTab(&b)
+	fmt.Fprintln(w, "Dataset\tRA\tTime (ms)\tIdle (%)\tL3 Misses (K)\tDTLB Misses (K)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%s\t%s\t%.1f\t%.1f\t%.1f\n",
+			r.Dataset, r.Algorithm, fmtMillis(r.Time), r.IdlePct,
+			float64(r.L3Misses)/1e3, float64(r.TLBMisses)/1e3)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// --------------------------------------------------------------- Table V
+
+// TableVRow reports the average effective cache size (paper Table V).
+type TableVRow struct {
+	Dataset   string
+	Algorithm string
+	ECSPct    float64
+	L3Misses  uint64
+}
+
+// TableV measures ECS via periodic cache-content snapshots during the
+// pull traversal of every relabeled graph.
+func TableV(s *Session, datasets []Dataset, algs []reorder.Algorithm) []TableVRow {
+	var rows []TableVRow
+	for _, ds := range datasets {
+		g := s.Graph(ds)
+		every := int(trace.CountAccesses(g) / 200)
+		if every < 1 {
+			every = 1
+		}
+		for _, alg := range algs {
+			sim := s.Simulate(ds, alg, core.SimOptions{SnapshotEvery: every})
+			rows = append(rows, TableVRow{
+				Dataset: ds.Name, Algorithm: alg.Name(),
+				ECSPct: sim.ECS, L3Misses: sim.Cache.Misses,
+			})
+		}
+	}
+	return rows
+}
+
+// RenderTableV renders ECS rows.
+func RenderTableV(rows []TableVRow) string {
+	var b strings.Builder
+	w := newTab(&b)
+	fmt.Fprintln(w, "Dataset\tRA\tECS (%)\tL3 Misses (K)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%s\t%.1f\t%.1f\n",
+			r.Dataset, r.Algorithm, r.ECSPct, float64(r.L3Misses)/1e3)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// --------------------------------------------------------------- Table VI
+
+// TableVIRow compares CSC vs CSR read traversals (paper Table VI).
+type TableVIRow struct {
+	Dataset    string
+	Kind       Kind
+	CSCMisses  uint64
+	CSRMisses  uint64
+	CSCTime    time.Duration
+	CSRTime    time.Duration
+	FasterTrav string // "CSC" or "CSR"
+}
+
+// TableVI runs the pull (CSC) and push-read (CSR) traversals with the same
+// read operation on each dataset.
+func TableVI(s *Session, datasets []Dataset) []TableVIRow {
+	var rows []TableVIRow
+	id := reorder.Identity{}
+	for _, ds := range datasets {
+		csc := s.Simulate(ds, id, core.SimOptions{Direction: trace.Pull})
+		csr := s.Simulate(ds, id, core.SimOptions{Direction: trace.PushRead})
+		cscT, _ := s.TimeTraversal(ds, id, trace.Pull)
+		csrT, _ := s.TimeTraversal(ds, id, trace.PushRead)
+		faster := "CSC"
+		if csr.Cache.Misses < csc.Cache.Misses {
+			faster = "CSR"
+		}
+		rows = append(rows, TableVIRow{
+			Dataset: ds.Name, Kind: ds.Kind,
+			CSCMisses: csc.Cache.Misses, CSRMisses: csr.Cache.Misses,
+			CSCTime: cscT, CSRTime: csrT, FasterTrav: faster,
+		})
+	}
+	return rows
+}
+
+// RenderTableVI renders CSC-vs-CSR rows.
+func RenderTableVI(rows []TableVIRow) string {
+	var b strings.Builder
+	w := newTab(&b)
+	fmt.Fprintln(w, "Dataset\tType\tCSC Misses (K)\tCSR Misses (K)\tCSC Time (ms)\tCSR Time (ms)\tFewer misses")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%s\t%.1f\t%.1f\t%s\t%s\t%s\n",
+			r.Dataset, r.Kind, float64(r.CSCMisses)/1e3, float64(r.CSRMisses)/1e3,
+			fmtMillis(r.CSCTime), fmtMillis(r.CSRTime), r.FasterTrav)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// -------------------------------------------------------------- Table VII
+
+// TableVIIRow compares SlashBurn to SlashBurn++ (paper Table VII).
+type TableVIIRow struct {
+	Dataset        string
+	SBPreproc      time.Duration
+	SBPPPreproc    time.Duration
+	SBIterations   int
+	SBPPIterations int
+	SBTime         time.Duration
+	SBPPTime       time.Duration
+	SBMisses       uint64
+	SBPPMisses     uint64
+}
+
+// TableVII measures the effect of stopping SlashBurn early.
+func TableVII(s *Session, datasets []Dataset) []TableVIIRow {
+	var rows []TableVIIRow
+	for _, ds := range datasets {
+		// Run fresh instances directly (not via the session memo) so the
+		// iteration counters belong to these runs, then seed the memo so
+		// the relabeling is not recomputed.
+		sb := reorder.NewSlashBurn()
+		sbpp := reorder.NewSlashBurnPP()
+		g := s.Graph(ds)
+		rSB := reorder.Run(sb, g)
+		itSB := sb.Iterations()
+		rPP := reorder.Run(sbpp, g)
+		itPP := sbpp.Iterations()
+		s.reorders[ds.Name+"/"+sb.Name()] = rSB
+		s.reorders[ds.Name+"/"+sbpp.Name()] = rPP
+		tSB, _ := s.TimeTraversal(ds, sb, trace.Pull)
+		tPP, _ := s.TimeTraversal(ds, sbpp, trace.Pull)
+		simSB := s.Simulate(ds, sb, core.SimOptions{})
+		simPP := s.Simulate(ds, sbpp, core.SimOptions{})
+		rows = append(rows, TableVIIRow{
+			Dataset:   ds.Name,
+			SBPreproc: rSB.Elapsed, SBPPPreproc: rPP.Elapsed,
+			SBIterations: itSB, SBPPIterations: itPP,
+			SBTime: tSB, SBPPTime: tPP,
+			SBMisses: simSB.Cache.Misses, SBPPMisses: simPP.Cache.Misses,
+		})
+	}
+	return rows
+}
+
+// RenderTableVII renders SB-vs-SB++ rows.
+func RenderTableVII(rows []TableVIIRow) string {
+	var b strings.Builder
+	w := newTab(&b)
+	fmt.Fprintln(w, "Dataset\tPre SB (s)\tPre SB++ (s)\tIters SB\tIters SB++\tTrav SB (ms)\tTrav SB++ (ms)\tL3 SB (K)\tL3 SB++ (K)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%s\t%s\t%d\t%d\t%s\t%s\t%.1f\t%.1f\n",
+			r.Dataset, fmtSeconds(r.SBPreproc), fmtSeconds(r.SBPPPreproc),
+			r.SBIterations, r.SBPPIterations,
+			fmtMillis(r.SBTime), fmtMillis(r.SBPPTime),
+			float64(r.SBMisses)/1e3, float64(r.SBPPMisses)/1e3)
+	}
+	w.Flush()
+	return b.String()
+}
+
+func newTab(b *strings.Builder) *tabwriter.Writer {
+	return tabwriter.NewWriter(b, 2, 4, 2, ' ', 0)
+}

@@ -1,0 +1,204 @@
+package gen
+
+import (
+	"math"
+
+	"graphlocality/internal/graph"
+)
+
+// WebGraphConfig parameterizes the web-graph generator.
+//
+// The generator reproduces the structural properties the paper attributes
+// to web graphs (§VII):
+//
+//   - power-law *in*-degrees via Zipf-popularity external links (strong
+//     in-hubs — the "front pages" every crawler sees),
+//   - bounded, Zipf-distributed *out*-degrees (no comparably strong
+//     out-hubs), so in-hub edge coverage dominates out-hub coverage
+//     (Fig. 6, "web graphs benefit from push locality"),
+//   - near-zero reciprocity, so in-hubs are highly asymmetric (Fig. 4),
+//   - host blocks: consecutive vertex ranges with mostly intra-host links,
+//     so low-degree vertices have clusterable neighbourhoods (the structure
+//     Rabbit-Order exploits, §VI-C).
+type WebGraphConfig struct {
+	NumVertices uint32
+	AvgOutDeg   int     // mean out-degree
+	MaxOutDeg   int     // out-degree cap (web pages link to few dozen pages)
+	HostSize    int     // mean vertices per host block
+	PIntra      float64 // probability a link stays within the host
+	PopS        float64 // Zipf exponent of external-target popularity
+	PopPool     int     // number of distinct external-link targets (0 = |V|/16)
+	ZipfS       float64 // out-degree Zipf exponent
+	Seed        uint64
+
+	// CrawlHosts and CrawlChunk emulate the ID order a breadth-ish
+	// crawler produces: CrawlHosts hosts are crawled concurrently,
+	// CrawlChunk pages fetched from one host before switching. Host
+	// members stay *near* each other (good base locality, as in real
+	// crawl datasets) without being perfectly contiguous — leaving the
+	// headroom community reorderings exploit (§VI-C). Zero disables the
+	// interleaving (perfectly host-contiguous IDs).
+	CrawlHosts int
+	CrawlChunk int
+}
+
+// DefaultWebGraph returns a parameterization mirroring crawl graphs:
+// strong host locality (75% intra-host links), heavily skewed external-link
+// popularity.
+func DefaultWebGraph(n uint32, avgOutDeg int, seed uint64) WebGraphConfig {
+	return WebGraphConfig{
+		NumVertices: n,
+		AvgOutDeg:   avgOutDeg,
+		MaxOutDeg:   4 * avgOutDeg,
+		HostSize:    64,
+		PIntra:      0.75,
+		PopS:        1.1,
+		ZipfS:       1.3,
+		Seed:        seed,
+		CrawlHosts:  32,
+		CrawlChunk:  4,
+	}
+}
+
+// WebGraph generates a directed web graph per cfg. Self-loops are dropped
+// and duplicates removed; zero-degree vertices are removed (paper §III-A).
+func WebGraph(cfg WebGraphConfig) *graph.Graph {
+	rng := NewRNG(cfg.Seed)
+	n := cfg.NumVertices
+	outZipf := NewZipf(rng, cfg.ZipfS, cfg.MaxOutDeg)
+	// External links target a limited pool of prominent pages ("front
+	// pages"): ordinary pages receive in-links only from their own host,
+	// which is what lets community reorderings cluster LDV neighbourhoods
+	// (§VI-C) while the prominent pages become the unfixable in-hubs of
+	// §VI-D.
+	pool := cfg.PopPool
+	if pool <= 0 {
+		pool = int(n) / 16
+	}
+	if pool < 1 {
+		pool = 1
+	}
+	if pool > int(n) {
+		pool = int(n)
+	}
+	popZipf := NewZipf(rng, cfg.PopS, pool)
+	// popTarget maps a popularity rank (1 = most popular) to a vertex ID.
+	// A random injection decorrelates popularity from vertex ID, so the
+	// "Initial" ordering carries no accidental hub clustering.
+	ids := make([]uint32, n)
+	for i := range ids {
+		ids[i] = uint32(i)
+	}
+	rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	popTarget := ids[:pool]
+
+	// Scale out-degree Zipf samples so the mean out-degree ≈ AvgOutDeg.
+	rawMean := zipfMean(cfg.ZipfS, cfg.MaxOutDeg)
+	scale := float64(cfg.AvgOutDeg) / rawMean
+
+	hostOf := func(v uint32) (lo, hi uint32) {
+		h := v / uint32(cfg.HostSize)
+		lo = h * uint32(cfg.HostSize)
+		hi = lo + uint32(cfg.HostSize)
+		if hi > n {
+			hi = n
+		}
+		return lo, hi
+	}
+
+	edges := make([]graph.Edge, 0, int(float64(n)*float64(cfg.AvgOutDeg)*1.1))
+	for v := uint32(0); v < n; v++ {
+		deg := int(float64(outZipf.Next()) * scale)
+		if deg < 1 {
+			deg = 1
+		}
+		if deg > cfg.MaxOutDeg {
+			deg = cfg.MaxOutDeg
+		}
+		lo, hi := hostOf(v)
+		for e := 0; e < deg; e++ {
+			var dst uint32
+			if rng.Float64() < cfg.PIntra && hi-lo > 1 {
+				dst = lo + rng.Uint32n(hi-lo)
+			} else {
+				dst = popTarget[popZipf.Next()-1]
+			}
+			if dst == v {
+				continue
+			}
+			edges = append(edges, graph.Edge{Src: v, Dst: dst})
+		}
+	}
+	// Relabel host-contiguous IDs into crawl order.
+	if cp := crawlPermutation(n, cfg); cp != nil {
+		for i := range edges {
+			edges[i].Src = cp[edges[i].Src]
+			edges[i].Dst = cp[edges[i].Dst]
+		}
+	}
+	g := graph.FromEdgesDedup(n, edges)
+	g, _ = g.RemoveZeroDegree()
+	return g
+}
+
+// crawlPermutation maps host-contiguous vertex IDs to crawl-order IDs by
+// interleaving CrawlHosts hosts in chunks of CrawlChunk pages. Returns nil
+// when interleaving is disabled.
+func crawlPermutation(n uint32, cfg WebGraphConfig) []uint32 {
+	if cfg.CrawlHosts <= 1 || cfg.CrawlChunk < 1 {
+		return nil
+	}
+	hostSize := uint32(cfg.HostSize)
+	numHosts := (n + hostSize - 1) / hostSize
+	type cursor struct {
+		next, end uint32
+	}
+	perm := make([]uint32, n)
+	active := make([]cursor, 0, cfg.CrawlHosts)
+	var admitted uint32
+	admit := func() {
+		lo := admitted * hostSize
+		hi := lo + hostSize
+		if hi > n {
+			hi = n
+		}
+		active = append(active, cursor{next: lo, end: hi})
+		admitted++
+	}
+	for len(active) < cfg.CrawlHosts && admitted < numHosts {
+		admit()
+	}
+	var out uint32
+	for len(active) > 0 {
+		for i := 0; i < len(active); i++ {
+			c := &active[i]
+			for k := 0; k < cfg.CrawlChunk && c.next < c.end; k++ {
+				perm[c.next] = out
+				c.next++
+				out++
+			}
+		}
+		// Drop finished hosts, admit new ones.
+		live := active[:0]
+		for _, c := range active {
+			if c.next < c.end {
+				live = append(live, c)
+			}
+		}
+		active = live
+		for len(active) < cfg.CrawlHosts && admitted < numHosts {
+			admit()
+		}
+	}
+	return perm
+}
+
+func zipfMean(s float64, max int) float64 {
+	num, den := 0.0, 0.0
+	for k := 1; k <= max; k++ {
+		p := 1 / math.Pow(float64(k), s)
+		num += float64(k) * p
+		den += p
+	}
+	return num / den
+}

@@ -1,0 +1,65 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchGraph(b *testing.B, n uint32, m int) *Graph {
+	b.Helper()
+	rng := rand.New(rand.NewSource(42))
+	edges := make([]Edge, m)
+	for i := range edges {
+		edges[i] = Edge{uint32(rng.Intn(int(n))), uint32(rng.Intn(int(n)))}
+	}
+	return FromEdges(n, edges)
+}
+
+func BenchmarkFromEdges(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	const n, m = 1 << 16, 1 << 19
+	edges := make([]Edge, m)
+	for i := range edges {
+		edges[i] = Edge{uint32(rng.Intn(n)), uint32(rng.Intn(n))}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FromEdges(n, edges)
+	}
+	b.ReportMetric(float64(m), "edges")
+}
+
+func BenchmarkRelabel(b *testing.B) {
+	g := benchGraph(b, 1<<16, 1<<19)
+	perm := Identity(g.NumVertices())
+	rng := rand.New(rand.NewSource(7))
+	rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Relabel(perm)
+	}
+}
+
+func BenchmarkUndirected(b *testing.B) {
+	g := benchGraph(b, 1<<15, 1<<18)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Undirected()
+	}
+}
+
+func BenchmarkConnectedComponents(b *testing.B) {
+	g := benchGraph(b, 1<<16, 1<<18)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.ConnectedComponents()
+	}
+}
+
+func BenchmarkHasEdge(b *testing.B) {
+	g := benchGraph(b, 1<<14, 1<<18)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.HasEdge(uint32(i)%g.NumVertices(), uint32(i*7)%g.NumVertices())
+	}
+}

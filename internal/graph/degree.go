@@ -1,0 +1,99 @@
+package graph
+
+import "sort"
+
+// OutDegrees returns a freshly allocated slice of all out-degrees.
+func (g *Graph) OutDegrees() []uint32 {
+	d := make([]uint32, g.n)
+	for v := uint32(0); v < g.n; v++ {
+		d[v] = g.OutDegree(v)
+	}
+	return d
+}
+
+// InDegrees returns a freshly allocated slice of all in-degrees.
+func (g *Graph) InDegrees() []uint32 {
+	d := make([]uint32, g.n)
+	for v := uint32(0); v < g.n; v++ {
+		d[v] = g.InDegree(v)
+	}
+	return d
+}
+
+// TotalDegrees returns out-degree + in-degree per vertex.
+func (g *Graph) TotalDegrees() []uint32 {
+	d := make([]uint32, g.n)
+	for v := uint32(0); v < g.n; v++ {
+		d[v] = g.OutDegree(v) + g.InDegree(v)
+	}
+	return d
+}
+
+// DegreeHistogram returns a map degree→count over the supplied degree
+// slice. It is used for the paper's Figure 2 (degree distribution of the
+// GCC across SlashBurn iterations).
+func DegreeHistogram(degrees []uint32) map[uint32]uint64 {
+	h := make(map[uint32]uint64)
+	for _, d := range degrees {
+		h[d]++
+	}
+	return h
+}
+
+// VerticesByDegreeDesc returns vertex IDs sorted by the given degree slice,
+// descending; ties broken by ascending vertex ID for determinism.
+func VerticesByDegreeDesc(degrees []uint32) []uint32 {
+	order := make([]uint32, len(degrees))
+	for i := range order {
+		order[i] = uint32(i)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if degrees[a] != degrees[b] {
+			return degrees[a] > degrees[b]
+		}
+		return a < b
+	})
+	return order
+}
+
+// VerticesByDegreeAsc returns vertex IDs sorted by degree ascending; ties
+// broken by ascending vertex ID.
+func VerticesByDegreeAsc(degrees []uint32) []uint32 {
+	order := make([]uint32, len(degrees))
+	for i := range order {
+		order[i] = uint32(i)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if degrees[a] != degrees[b] {
+			return degrees[a] < degrees[b]
+		}
+		return a < b
+	})
+	return order
+}
+
+// CountInHubs returns the number of vertices with in-degree > √|V|.
+func (g *Graph) CountInHubs() uint32 {
+	t := g.HubThreshold()
+	var c uint32
+	for v := uint32(0); v < g.n; v++ {
+		if float64(g.InDegree(v)) > t {
+			c++
+		}
+	}
+	return c
+}
+
+// CountOutHubs returns the number of vertices with out-degree > √|V|.
+func (g *Graph) CountOutHubs() uint32 {
+	t := g.HubThreshold()
+	var c uint32
+	for v := uint32(0); v < g.n; v++ {
+		if float64(g.OutDegree(v)) > t {
+			c++
+		}
+	}
+	return c
+}

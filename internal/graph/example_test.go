@@ -1,0 +1,42 @@
+package graph_test
+
+import (
+	"fmt"
+
+	"graphlocality/internal/graph"
+)
+
+func ExampleFromEdges() {
+	g := graph.FromEdges(4, []graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 0, Dst: 2}, {Src: 1, Dst: 3}, {Src: 2, Dst: 3},
+	})
+	fmt.Println(g)
+	fmt.Println("out(0):", g.OutNeighbors(0))
+	fmt.Println("in(3): ", g.InNeighbors(3))
+	// Output:
+	// Graph{|V|=4, |E|=4, avgdeg=1.00}
+	// out(0): [1 2]
+	// in(3):  [1 2]
+}
+
+func ExampleGraph_Relabel() {
+	g := graph.FromEdges(3, []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}})
+	// Reverse the vertex order: old 0 becomes new 2, etc.
+	perm := graph.Permutation{2, 1, 0}
+	h := g.Relabel(perm)
+	fmt.Println(h.HasEdge(2, 1), h.HasEdge(1, 0))
+	// Output: true true
+}
+
+func ExampleGraph_ConnectedComponents() {
+	g := graph.FromEdges(5, []graph.Edge{{Src: 0, Dst: 1}, {Src: 3, Dst: 4}})
+	_, k := g.ConnectedComponents()
+	fmt.Println("components:", k)
+	// Output: components: 3
+}
+
+func ExamplePermutation_Inverse() {
+	p := graph.Permutation{2, 0, 1}
+	fmt.Println(p.Inverse())
+	// Output: [1 2 0]
+}

@@ -1,0 +1,59 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadEdgeList checks the text parser never panics and that any graph
+// it accepts is internally consistent and round-trips.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("0 1\n1 2\n")
+	f.Add("# comment\n5 5\n")
+	f.Add("")
+	f.Add("x y\n")
+	f.Add("4294967295 0\n")
+	f.Add("1 2 3 4\n0 0\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := ReadEdgeList(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph fails validation: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := g.WriteEdgeList(&buf); err != nil {
+			t.Fatalf("re-serialize: %v", err)
+		}
+		h, err := ReadEdgeList(&buf)
+		if err != nil {
+			t.Fatalf("re-parse: %v", err)
+		}
+		// Vertex counts may shrink (max-ID based) only if the original
+		// had a dangling max ID; edges must survive exactly.
+		if h.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip changed |E|: %d vs %d", h.NumEdges(), g.NumEdges())
+		}
+	})
+}
+
+// FuzzReadBinary checks the binary loader never panics on corrupt input.
+func FuzzReadBinary(f *testing.F) {
+	var buf bytes.Buffer
+	_ = diamond().WriteBinary(&buf)
+	f.Add(buf.Bytes())
+	f.Add([]byte("GLCG"))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	f.Fuzz(func(t *testing.T, in []byte) {
+		g, err := ReadBinary(bytes.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph fails validation: %v", err)
+		}
+	})
+}

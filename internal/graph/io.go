@@ -1,0 +1,174 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// File formats:
+//
+//   - Text: one "src dst" pair per line, '#'-prefixed comment lines skipped.
+//     The vertex count is max ID + 1 unless given explicitly.
+//   - Binary: magic "GLCG", version, |V|, |E|, CSR offsets, CSR edges.
+//     CSC is rebuilt on load. Little-endian throughout.
+
+const (
+	binaryMagic   = "GLCG"
+	binaryVersion = 1
+)
+
+// WriteBinary serializes the graph's CSR form to w.
+func (g *Graph) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	hdr := []uint64{binaryVersion, uint64(g.n), g.NumEdges()}
+	for _, x := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, x); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.outOff); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.outAdj); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadBinary deserializes a graph written by WriteBinary.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(binaryMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("graph: reading magic: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("graph: bad magic %q", magic)
+	}
+	var version, n, m uint64
+	for _, p := range []*uint64{&version, &n, &m} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, fmt.Errorf("graph: reading header: %w", err)
+		}
+	}
+	if version != binaryVersion {
+		return nil, fmt.Errorf("graph: unsupported version %d", version)
+	}
+	if n >= uint64(NoVertex) {
+		return nil, fmt.Errorf("graph: vertex count %d out of range", n)
+	}
+	// Read in bounded chunks so a corrupt header cannot demand a huge
+	// allocation before EOF is detected.
+	const chunk = 1 << 16
+	off := make([]uint64, 0, min64(n+1, chunk))
+	for read := uint64(0); read < n+1; {
+		c := min64(n+1-read, chunk)
+		buf := make([]uint64, c)
+		if err := binary.Read(br, binary.LittleEndian, buf); err != nil {
+			return nil, fmt.Errorf("graph: reading offsets: %w", err)
+		}
+		off = append(off, buf...)
+		read += c
+	}
+	adj := make([]uint32, 0, min64(m, chunk))
+	for read := uint64(0); read < m; {
+		c := min64(m-read, chunk)
+		buf := make([]uint32, c)
+		if err := binary.Read(br, binary.LittleEndian, buf); err != nil {
+			return nil, fmt.Errorf("graph: reading edges: %w", err)
+		}
+		adj = append(adj, buf...)
+		read += c
+	}
+	return FromCSR(uint32(n), off, adj)
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// WriteEdgeList writes the graph as a text edge list ("src dst" per line).
+func (g *Graph) WriteEdgeList(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# graphlocality edge list |V|=%d |E|=%d\n", g.n, g.NumEdges())
+	for v := uint32(0); v < g.n; v++ {
+		for _, u := range g.OutNeighbors(v) {
+			if _, err := fmt.Fprintf(bw, "%d %d\n", v, u); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// MaxEdgeListVertices bounds the vertex count ReadEdgeList accepts
+// (max ID + 1). The text format is meant for datasets that are edited and
+// inspected by hand; a stray huge ID must not translate into a huge
+// allocation. Larger graphs should use the binary format or FromEdges.
+const MaxEdgeListVertices = 1 << 24
+
+// ReadEdgeList parses a text edge list. Lines starting with '#' or '%' are
+// comments; fields may be separated by any whitespace. The vertex count is
+// max ID + 1 and must not exceed MaxEdgeListVertices.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var edges []Edge
+	var maxID uint32
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || text[0] == '#' || text[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: want 2 fields, got %d", line, len(fields))
+		}
+		src, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad src: %w", line, err)
+		}
+		dst, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad dst: %w", line, err)
+		}
+		if m := max64(src, dst); m >= MaxEdgeListVertices {
+			return nil, fmt.Errorf("graph: line %d: vertex ID %d exceeds the text-format limit %d",
+				line, m, MaxEdgeListVertices-1)
+		}
+		e := Edge{uint32(src), uint32(dst)}
+		if e.Src > maxID {
+			maxID = e.Src
+		}
+		if e.Dst > maxID {
+			maxID = e.Dst
+		}
+		edges = append(edges, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(edges) == 0 {
+		return FromEdges(0, nil), nil
+	}
+	return FromEdges(maxID+1, edges), nil
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

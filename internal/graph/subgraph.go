@@ -1,0 +1,33 @@
+package graph
+
+// InducedSubgraph returns the subgraph induced by the vertices where
+// keep[v] is true, with vertices renumbered contiguously in ascending
+// original-ID order, plus the mapping old→new (removed vertices map to
+// NoVertex). Edges survive iff both endpoints are kept.
+func (g *Graph) InducedSubgraph(keep []bool) (*Graph, []uint32) {
+	if len(keep) != int(g.n) {
+		panic("graph: InducedSubgraph keep mask length mismatch")
+	}
+	mapping := make([]uint32, g.n)
+	var next uint32
+	for v := uint32(0); v < g.n; v++ {
+		if keep[v] {
+			mapping[v] = next
+			next++
+		} else {
+			mapping[v] = NoVertex
+		}
+	}
+	edges := make([]Edge, 0)
+	for v := uint32(0); v < g.n; v++ {
+		if !keep[v] {
+			continue
+		}
+		for _, u := range g.OutNeighbors(v) {
+			if keep[u] {
+				edges = append(edges, Edge{mapping[v], mapping[u]})
+			}
+		}
+	}
+	return FromEdges(next, edges), mapping
+}

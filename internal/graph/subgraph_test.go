@@ -1,0 +1,72 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestInducedSubgraphBasic(t *testing.T) {
+	g := diamond() // 0->1, 0->2, 1->3, 2->3, 3->0
+	sub, mapping := g.InducedSubgraph([]bool{true, true, false, true})
+	if sub.NumVertices() != 3 {
+		t.Fatalf("|V| = %d, want 3", sub.NumVertices())
+	}
+	// Kept: 0->1, 1->3, 3->0 under new IDs 0,1,2.
+	if sub.NumEdges() != 3 {
+		t.Fatalf("|E| = %d, want 3", sub.NumEdges())
+	}
+	if mapping[2] != NoVertex {
+		t.Error("dropped vertex not marked")
+	}
+	if !sub.HasEdge(mapping[0], mapping[1]) || !sub.HasEdge(mapping[1], mapping[3]) ||
+		!sub.HasEdge(mapping[3], mapping[0]) {
+		t.Error("edges not remapped correctly")
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInducedSubgraphPanicsOnBadMask(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("short mask did not panic")
+		}
+	}()
+	diamond().InducedSubgraph([]bool{true})
+}
+
+func TestInducedSubgraphProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := uint32(rng.Intn(60) + 1)
+		g := randomGraph(rng, n, rng.Intn(250))
+		keep := make([]bool, n)
+		kept := uint32(0)
+		for i := range keep {
+			keep[i] = rng.Intn(2) == 0
+			if keep[i] {
+				kept++
+			}
+		}
+		sub, mapping := g.InducedSubgraph(keep)
+		if sub.NumVertices() != kept || sub.Validate() != nil {
+			return false
+		}
+		// Every surviving edge's preimage exists; count matches.
+		var want uint64
+		for _, e := range g.Edges() {
+			if keep[e.Src] && keep[e.Dst] {
+				want++
+				if !sub.HasEdge(mapping[e.Src], mapping[e.Dst]) {
+					return false
+				}
+			}
+		}
+		return sub.NumEdges() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

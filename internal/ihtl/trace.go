@@ -1,0 +1,72 @@
+package ihtl
+
+import "graphlocality/internal/trace"
+
+// Layout extends the SpMV address layout with the per-block accumulator
+// array, placed on its own extent after the standard arrays. The
+// accumulator is the compact region iHTL keeps cache-resident.
+type Layout struct {
+	trace.Layout
+	AccBase uint64
+}
+
+// NewLayout builds the iHTL layout for the blocked graph.
+func NewLayout(b *Blocked) Layout {
+	base := trace.NewLayout(b.g)
+	const align = 1 << 21
+	end := base.NewDataAddr(b.g.NumVertices()-1) + trace.VertexDataBytes
+	if b.g.NumVertices() == 0 {
+		end = base.NewDataBase
+	}
+	return Layout{
+		Layout:  base,
+		AccBase: (end + align - 1) &^ uint64(align-1),
+	}
+}
+
+// AccAddr returns the address of the block-local accumulator entry.
+func (l Layout) AccAddr(local uint32) uint64 {
+	return l.AccBase + uint64(local)*trace.VertexDataBytes
+}
+
+// Trace generates the memory-access stream of one iHTL SpMV iteration,
+// mirroring trace.Run for the plain traversals: flipped blocks issue a
+// sequential read of each source's data plus writes into the compact
+// accumulator; the sparse block issues the ordinary pull pattern.
+func Trace(b *Blocked, l Layout, sink trace.Sink) {
+	// Flipped blocks (push into accumulator).
+	for _, fb := range b.blocks {
+		for i, u := range fb.srcIDs {
+			sink(trace.Access{Addr: l.OldDataAddr(u), Kind: trace.KindVertexRead, Vertex: u, Dest: u})
+			for ei := fb.srcOff[i]; ei < fb.srcOff[i+1]; ei++ {
+				t := fb.targets[ei]
+				// Topology stream for the target list.
+				sink(trace.Access{Addr: l.EdgeAddr(ei), Kind: trace.KindEdges, Vertex: u, Dest: u})
+				sink(trace.Access{Addr: l.AccAddr(t), Kind: trace.KindVertexWrite, Write: true,
+					Vertex: b.hubs[fb.HubLo+t], Dest: u})
+			}
+		}
+		// Flush the accumulator to the hubs' new data (sequential over the
+		// accumulator, random over Di+1).
+		for local := fb.HubLo; local < fb.HubHi; local++ {
+			sink(trace.Access{Addr: l.AccAddr(local - fb.HubLo), Kind: trace.KindVertexRead,
+				Vertex: b.hubs[local], Dest: b.hubs[local]})
+			sink(trace.Access{Addr: l.NewDataAddr(b.hubs[local]), Kind: trace.KindVertexWrite,
+				Write: true, Vertex: b.hubs[local], Dest: b.hubs[local]})
+		}
+	}
+	// Sparse block (pull).
+	n := b.g.NumVertices()
+	for v := uint32(0); v < n; v++ {
+		if b.hubOf[v] != NoHub {
+			continue
+		}
+		sink(trace.Access{Addr: l.OffsetsAddr(v), Kind: trace.KindOffsets, Vertex: v, Dest: v})
+		for ei := b.sparseOff[v]; ei < b.sparseOff[v+1]; ei++ {
+			u := b.sparseAdj[ei]
+			sink(trace.Access{Addr: l.EdgeAddr(ei), Kind: trace.KindEdges, Vertex: v, Dest: v})
+			sink(trace.Access{Addr: l.OldDataAddr(u), Kind: trace.KindVertexRead, Vertex: u, Dest: v})
+		}
+		sink(trace.Access{Addr: l.NewDataAddr(v), Kind: trace.KindVertexWrite, Write: true, Vertex: v, Dest: v})
+	}
+}

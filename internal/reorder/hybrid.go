@@ -1,0 +1,74 @@
+package reorder
+
+import (
+	"math"
+
+	"graphlocality/internal/graph"
+)
+
+// Hybrid implements the reordering the paper proposes as future work
+// (§VIII-C): "a new RA can merge Rabbit-Order and GOrder techniques to
+// improve locality of both LDV and HDV. Such an RA may start from LDV
+// like RO to build initial clusters and then switch to a method like GO
+// to relabel HDV."
+//
+// Vertices with undirected degree ≤ √|V| (the hub threshold) are
+// clustered and numbered by Rabbit-Order's community growth + DFS; the
+// hubs are then appended, ordered by a GOrder pass restricted to the
+// hub-induced subgraph so hubs sharing in-neighbours sit close together.
+type Hybrid struct {
+	// Window is the GOrder sliding window used for the hub pass.
+	Window int
+}
+
+// NewHybrid returns the Hybrid RA with GOrder's default window.
+func NewHybrid() *Hybrid { return &Hybrid{Window: 5} }
+
+// Name implements Algorithm.
+func (h *Hybrid) Name() string { return "RO+GO" }
+
+// Reorder implements Algorithm.
+func (h *Hybrid) Reorder(g *graph.Graph) graph.Permutation {
+	n := g.NumVertices()
+	if n == 0 {
+		return graph.Permutation{}
+	}
+	thr := uint32(math.Sqrt(float64(n)))
+	und := g.Undirected()
+
+	// Phase 1: Rabbit-Order over the LDV (degree ≤ thr). Hubs fall
+	// outside the EDR and land, in relative order, after the clustered
+	// LDV block.
+	ro := NewRabbitOrderEDR(0, thr)
+	roPerm := ro.Reorder(g)
+
+	// Count LDV to locate the hub block.
+	var numLDV uint32
+	isHub := make([]bool, n)
+	for v := uint32(0); v < n; v++ {
+		if und.OutDegree(v) > thr {
+			isHub[v] = true
+		} else {
+			numLDV++
+		}
+	}
+	if numLDV == n {
+		return roPerm // no hubs at all
+	}
+
+	// Phase 2: GOrder over the hub-induced subgraph, rewriting the hub
+	// block of roPerm.
+	sub, compact := g.InducedSubgraph(isHub)
+	goPerm := (&GOrder{Window: h.Window}).Reorder(sub)
+
+	// Hubs occupy IDs [numLDV, n) ordered by the GOrder pass.
+	perm := make(graph.Permutation, n)
+	for v := uint32(0); v < n; v++ {
+		if isHub[v] {
+			perm[v] = numLDV + goPerm[compact[v]]
+		} else {
+			perm[v] = roPerm[v]
+		}
+	}
+	return perm
+}

@@ -1,0 +1,246 @@
+// Package reorder implements the vertex relabeling algorithms (RAs) the
+// paper studies — SlashBurn, GOrder and Rabbit-Order — together with the
+// paper's proposed improvements (SlashBurn++, EDR-restricted Rabbit-Order)
+// and a set of lightweight baselines (degree sort, hub sort, hub cluster,
+// DBG, RCM, random) used as experimental controls.
+//
+// A relabeling algorithm receives a graph and produces a relabeling array
+// of |V| elements indexed by old vertex ID yielding the new ID (§II-E).
+// The graph is then rebuilt with graph.Relabel.
+package reorder
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"graphlocality/internal/graph"
+)
+
+// Algorithm is a vertex reordering (relabeling) algorithm.
+type Algorithm interface {
+	// Name returns a short identifier ("SB", "GO", "RO", ...).
+	Name() string
+	// Reorder computes the relabeling array for g (old ID → new ID).
+	Reorder(g *graph.Graph) graph.Permutation
+}
+
+// Result captures one reordering run with the preprocessing-cost metrics
+// of the paper's Table II.
+type Result struct {
+	Algorithm string
+	Perm      graph.Permutation
+	Elapsed   time.Duration // preprocessing time
+	// AllocBytes is the total bytes allocated while reordering (a
+	// deterministic proxy for the paper's peak-footprint measurement; see
+	// DESIGN.md).
+	AllocBytes uint64
+}
+
+// Run executes alg on g, measuring preprocessing time and allocation.
+func Run(alg Algorithm, g *graph.Graph) Result {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	perm := alg.Reorder(g)
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return Result{
+		Algorithm:  alg.Name(),
+		Perm:       perm,
+		Elapsed:    elapsed,
+		AllocBytes: after.TotalAlloc - before.TotalAlloc,
+	}
+}
+
+// Registry returns the standard algorithm set by name. Unknown names
+// return an error listing the options.
+func Registry(name string, seed uint64) (Algorithm, error) {
+	switch name {
+	case "identity", "initial", "bl":
+		return Identity{}, nil
+	case "random":
+		return Random{Seed: seed}, nil
+	case "degsort", "degree":
+		return DegreeSort{}, nil
+	case "hubsort":
+		return HubSort{}, nil
+	case "hubcluster":
+		return HubCluster{}, nil
+	case "dbg":
+		return DBG{}, nil
+	case "rcm":
+		return RCM{}, nil
+	case "bfs":
+		return BFSOrder{}, nil
+	case "sb", "slashburn":
+		return NewSlashBurn(), nil
+	case "sb++", "slashburn++":
+		return NewSlashBurnPP(), nil
+	case "go", "gorder":
+		return NewGOrder(), nil
+	case "ro", "rabbit", "rabbitorder":
+		return NewRabbitOrder(), nil
+	case "hybrid", "ro+go":
+		return NewHybrid(), nil
+	default:
+		return nil, fmt.Errorf("reorder: unknown algorithm %q (want identity, random, degsort, hubsort, hubcluster, dbg, rcm, bfs, sb, sb++, go, ro, hybrid)", name)
+	}
+}
+
+// Identity leaves the graph in its initial order (the paper's baseline
+// "Bl" / "Initial").
+type Identity struct{}
+
+// Name implements Algorithm.
+func (Identity) Name() string { return "Initial" }
+
+// Reorder implements Algorithm.
+func (Identity) Reorder(g *graph.Graph) graph.Permutation {
+	return graph.Identity(g.NumVertices())
+}
+
+// Random shuffles vertex IDs uniformly — the worst-case control that
+// destroys any locality present in the initial order.
+type Random struct {
+	Seed uint64
+}
+
+// Name implements Algorithm.
+func (Random) Name() string { return "Random" }
+
+// Reorder implements Algorithm.
+func (r Random) Reorder(g *graph.Graph) graph.Permutation {
+	p := graph.Identity(g.NumVertices())
+	rng := splitmix{s: r.Seed}
+	for i := len(p) - 1; i > 0; i-- {
+		j := int(rng.next() % uint64(i+1))
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// splitmix is a tiny local RNG so reorder does not depend on gen.
+type splitmix struct{ s uint64 }
+
+func (r *splitmix) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// DegreeSort assigns IDs by descending total degree (in+out), the
+// representative "degree-ordering" family SlashBurn generalizes (§IV-A).
+type DegreeSort struct{}
+
+// Name implements Algorithm.
+func (DegreeSort) Name() string { return "DegSort" }
+
+// Reorder implements Algorithm.
+func (DegreeSort) Reorder(g *graph.Graph) graph.Permutation {
+	order := graph.VerticesByDegreeDesc(g.TotalDegrees())
+	return orderToPerm(order)
+}
+
+// HubSort (Faldu et al., IISWC'19) sorts only the hub vertices (total
+// degree above average) by descending degree into the lowest IDs and keeps
+// all other vertices in their original relative order.
+type HubSort struct{}
+
+// Name implements Algorithm.
+func (HubSort) Name() string { return "HubSort" }
+
+// Reorder implements Algorithm.
+func (HubSort) Reorder(g *graph.Graph) graph.Permutation {
+	deg := g.TotalDegrees()
+	avg := g.AverageDegree() * 2 // total degree averages 2|E|/|V|
+	var hubs, rest []uint32
+	for v := uint32(0); v < g.NumVertices(); v++ {
+		if float64(deg[v]) > avg {
+			hubs = append(hubs, v)
+		} else {
+			rest = append(rest, v)
+		}
+	}
+	sort.Slice(hubs, func(i, j int) bool {
+		a, b := hubs[i], hubs[j]
+		if deg[a] != deg[b] {
+			return deg[a] > deg[b]
+		}
+		return a < b
+	})
+	return orderToPerm(append(hubs, rest...))
+}
+
+// HubCluster packs hub vertices (total degree above average) into the
+// lowest IDs while preserving relative order within both hubs and
+// non-hubs — the sort-free lightweight variant.
+type HubCluster struct{}
+
+// Name implements Algorithm.
+func (HubCluster) Name() string { return "HubCluster" }
+
+// Reorder implements Algorithm.
+func (HubCluster) Reorder(g *graph.Graph) graph.Permutation {
+	deg := g.TotalDegrees()
+	avg := g.AverageDegree() * 2
+	var hubs, rest []uint32
+	for v := uint32(0); v < g.NumVertices(); v++ {
+		if float64(deg[v]) > avg {
+			hubs = append(hubs, v)
+		} else {
+			rest = append(rest, v)
+		}
+	}
+	return orderToPerm(append(hubs, rest...))
+}
+
+// DBG is degree-based grouping (Faldu et al.): vertices are binned into
+// power-of-two degree classes; classes are laid out from the highest
+// degree down, preserving original order within each class.
+type DBG struct{}
+
+// Name implements Algorithm.
+func (DBG) Name() string { return "DBG" }
+
+// Reorder implements Algorithm.
+func (DBG) Reorder(g *graph.Graph) graph.Permutation {
+	deg := g.TotalDegrees()
+	group := func(d uint32) int {
+		gid := 0
+		for d > 0 {
+			d >>= 1
+			gid++
+		}
+		return gid // 0 for degree 0, else floor(log2(d))+1
+	}
+	maxG := 0
+	for _, d := range deg {
+		if gr := group(d); gr > maxG {
+			maxG = gr
+		}
+	}
+	buckets := make([][]uint32, maxG+1)
+	for v := uint32(0); v < g.NumVertices(); v++ {
+		gr := group(deg[v])
+		buckets[gr] = append(buckets[gr], v)
+	}
+	order := make([]uint32, 0, g.NumVertices())
+	for gr := maxG; gr >= 0; gr-- {
+		order = append(order, buckets[gr]...)
+	}
+	return orderToPerm(order)
+}
+
+// orderToPerm converts a visiting order (order[i] = old ID of the vertex
+// placed at new ID i) into the relabeling array perm[old] = new.
+func orderToPerm(order []uint32) graph.Permutation {
+	perm := make(graph.Permutation, len(order))
+	for newID, old := range order {
+		perm[old] = uint32(newID)
+	}
+	return perm
+}

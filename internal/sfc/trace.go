@@ -1,0 +1,18 @@
+package sfc
+
+import "graphlocality/internal/trace"
+
+// Trace generates the memory-access stream of one edge-centric COO SpMV:
+// per edge, a sequential read of the edge record (8 bytes in the edges
+// array region) plus a read of Di[src] and an accumulate (read-modify-
+// write counted as a write) of Di+1[dst]. The layout reuses the standard
+// SpMV address map; the COO edge array stands where the CSR/CSC edges
+// array would be.
+func Trace(c *COO, l trace.Layout, sink trace.Sink) {
+	for i, e := range c.Edges {
+		// Edge record: src+dst, two 4-byte words.
+		sink(trace.Access{Addr: l.EdgeAddr(uint64(2 * i)), Kind: trace.KindEdges, Vertex: e.Src, Dest: e.Dst})
+		sink(trace.Access{Addr: l.OldDataAddr(e.Src), Kind: trace.KindVertexRead, Vertex: e.Src, Dest: e.Dst})
+		sink(trace.Access{Addr: l.NewDataAddr(e.Dst), Kind: trace.KindVertexWrite, Write: true, Vertex: e.Dst, Dest: e.Dst})
+	}
+}

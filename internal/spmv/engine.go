@@ -1,0 +1,198 @@
+// Package spmv provides the parallel SpMV graph-traversal engine used for
+// the "real execution" measurements (paper §III-B): an optimized CSR/CSC
+// kernel with edge-balanced partitioning and work stealing, mirroring the
+// paper's pthread master–worker runtime. Per-thread idle time is measured
+// the way Table IV reports it: the average percentage of the traversal's
+// wall-clock time each worker spends without work.
+package spmv
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+	"unsafe"
+
+	"graphlocality/internal/graph"
+)
+
+// Stats describes one parallel traversal.
+type Stats struct {
+	Elapsed time.Duration
+	// IdlePct is the mean over workers of (wall − busy)/wall, in percent.
+	IdlePct float64
+	// Steals counts chunks executed by a worker other than their owner.
+	Steals int64
+	// Threads is the worker count used.
+	Threads int
+}
+
+// Engine runs SpMV iterations over a fixed graph with a reusable
+// partitioning. Create one per graph; safe for repeated use, not for
+// concurrent use.
+type Engine struct {
+	g       *graph.Graph
+	threads int
+	// chunksPerThread controls work-stealing granularity.
+	pullChunks []graph.Range
+	pushChunks []graph.Range
+}
+
+// ChunksPerThread is the work-stealing granularity: each worker owns this
+// many edge-balanced chunks initially.
+const ChunksPerThread = 8
+
+// New builds an engine with the given worker count (0 = GOMAXPROCS).
+func New(g *graph.Graph, threads int) *Engine {
+	if threads < 1 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{
+		g:          g,
+		threads:    threads,
+		pullChunks: g.PartitionEdgeBalancedIn(threads * ChunksPerThread),
+		pushChunks: g.PartitionEdgeBalancedOut(threads * ChunksPerThread),
+	}
+}
+
+// Threads returns the configured worker count.
+func (e *Engine) Threads() int { return e.threads }
+
+// Pull performs dst[v] = Σ src[u] over v's in-neighbours u (Algorithm 1,
+// pull direction over the CSC). dst and src must have |V| elements.
+func (e *Engine) Pull(src, dst []float64) Stats {
+	g := e.g
+	return e.run(e.pullChunks, func(r graph.Range) {
+		adj := g.InEdges()
+		off := g.InOffsets()
+		for v := r.Lo; v < r.Hi; v++ {
+			sum := 0.0
+			for _, u := range adj[off[v]:off[v+1]] {
+				sum += src[u]
+			}
+			dst[v] = sum
+		}
+	})
+}
+
+// PushRead performs dst[v] = Σ src[u] over v's out-neighbours u — the
+// "CSR read traversal" of Table VI, isolating format effects from
+// read-vs-write effects.
+func (e *Engine) PushRead(src, dst []float64) Stats {
+	g := e.g
+	return e.run(e.pushChunks, func(r graph.Range) {
+		adj := g.OutEdges()
+		off := g.OutOffsets()
+		for v := r.Lo; v < r.Hi; v++ {
+			sum := 0.0
+			for _, u := range adj[off[v]:off[v+1]] {
+				sum += src[u]
+			}
+			dst[v] = sum
+		}
+	})
+}
+
+// Push performs dst[u] += src[v] for every out-edge (v,u) — the push
+// direction, which needs atomic updates to protect concurrent writes
+// (§II-F: "push direction has an additional cost for protecting the data
+// of vertices"). dst must be zeroed by the caller.
+func (e *Engine) Push(src, dst []float64) Stats {
+	g := e.g
+	return e.run(e.pushChunks, func(r graph.Range) {
+		adj := g.OutEdges()
+		off := g.OutOffsets()
+		for v := r.Lo; v < r.Hi; v++ {
+			x := src[v]
+			for _, u := range adj[off[v]:off[v+1]] {
+				atomicAddFloat64(&dst[u], x)
+			}
+		}
+	})
+}
+
+// run executes fn over every chunk with work stealing and measures idle
+// time. Worker w owns chunks w*ChunksPerThread..; when its own list is
+// exhausted it steals from the other workers' lists round-robin.
+func (e *Engine) run(chunks []graph.Range, fn func(graph.Range)) Stats {
+	nw := e.threads
+	// Per-owner cursors into the chunk list.
+	type queue struct {
+		next int64
+		lo   int
+		hi   int
+	}
+	queues := make([]queue, nw)
+	per := (len(chunks) + nw - 1) / nw
+	for w := 0; w < nw; w++ {
+		lo := w * per
+		hi := lo + per
+		if lo > len(chunks) {
+			lo = len(chunks)
+		}
+		if hi > len(chunks) {
+			hi = len(chunks)
+		}
+		queues[w] = queue{next: int64(lo), lo: lo, hi: hi}
+	}
+	var steals int64
+	busy := make([]time.Duration, nw)
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var my time.Duration
+			// Own queue first, then steal from victims.
+			for vi := 0; vi < nw; vi++ {
+				victim := (w + vi) % nw
+				for {
+					i := atomic.AddInt64(&queues[victim].next, 1) - 1
+					if i >= int64(queues[victim].hi) {
+						break
+					}
+					if vi != 0 {
+						atomic.AddInt64(&steals, 1)
+					}
+					t0 := time.Now()
+					fn(chunks[i])
+					my += time.Since(t0)
+				}
+			}
+			busy[w] = my
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	var idleSum float64
+	for _, b := range busy {
+		frac := 1 - float64(b)/float64(wall)
+		if frac < 0 {
+			frac = 0
+		}
+		idleSum += frac
+	}
+	return Stats{
+		Elapsed: wall,
+		IdlePct: 100 * idleSum / float64(nw),
+		Steals:  steals,
+		Threads: nw,
+	}
+}
+
+// atomicAddFloat64 adds x to *p with a CAS loop — the concurrency
+// protection cost inherent to push traversals.
+func atomicAddFloat64(p *float64, x float64) {
+	addr := (*uint64)(unsafe.Pointer(p))
+	for {
+		old := atomic.LoadUint64(addr)
+		nw := math.Float64bits(math.Float64frombits(old) + x)
+		if atomic.CompareAndSwapUint64(addr, old, nw) {
+			return
+		}
+	}
+}

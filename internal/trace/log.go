@@ -1,0 +1,126 @@
+package trace
+
+import (
+	"sync"
+
+	"graphlocality/internal/graph"
+)
+
+// This file implements the paper's two-phase parallel simulation (§V-B)
+// literally: phase 1 materializes each thread's memory accesses into a
+// log; phase 2 divides execution into intervals and replays the logs
+// round-robin. RunParallel produces the identical interleaving without
+// materializing the logs; the explicit form exists for tooling that needs
+// to store, inspect or re-replay traces (and as executable documentation
+// of the paper's method).
+
+// ThreadLog is the materialized access log of one emulated thread.
+type ThreadLog struct {
+	Thread   int
+	Accesses []Access
+}
+
+// CollectLogs performs phase 1: it partitions the vertex set into
+// `threads` edge-balanced partitions and records each partition's full
+// program-order access stream.
+func CollectLogs(g *graph.Graph, l Layout, dir Direction, threads int) []ThreadLog {
+	if threads < 1 {
+		threads = 1
+	}
+	var ranges []graph.Range
+	if dir == Pull {
+		ranges = g.PartitionEdgeBalancedIn(threads)
+	} else {
+		ranges = g.PartitionEdgeBalancedOut(threads)
+	}
+	logs := make([]ThreadLog, len(ranges))
+	var wg sync.WaitGroup
+	for i, r := range ranges {
+		wg.Add(1)
+		go func(i int, r graph.Range) {
+			defer wg.Done()
+			logs[i].Thread = i
+			it := newVertexIter(g, l, dir, r)
+			for {
+				a, ok := it.next()
+				if !ok {
+					break
+				}
+				logs[i].Accesses = append(logs[i].Accesses, a)
+			}
+		}(i, r)
+	}
+	wg.Wait()
+	return logs
+}
+
+// Replay performs phase 2: execution duration is divided between threads;
+// for each interval every live thread contributes `interval` accesses in
+// round-robin order. The resulting stream equals RunParallel's.
+func Replay(logs []ThreadLog, interval int, sink Sink) {
+	if interval < 1 {
+		interval = 1
+	}
+	pos := make([]int, len(logs))
+	live := len(logs)
+	for live > 0 {
+		live = 0
+		for i := range logs {
+			n := len(logs[i].Accesses)
+			if pos[i] >= n {
+				continue
+			}
+			end := pos[i] + interval
+			if end > n {
+				end = n
+			}
+			for _, a := range logs[i].Accesses[pos[i]:end] {
+				sink(a)
+			}
+			pos[i] = end
+			if pos[i] < n {
+				live++
+			}
+		}
+	}
+}
+
+// ReplayWithThread is Replay with the emitting thread's index passed to
+// the sink — needed by consumers that model per-socket resources (e.g. a
+// NUMA pair of shared L3s).
+func ReplayWithThread(logs []ThreadLog, interval int, sink func(thread int, a Access)) {
+	if interval < 1 {
+		interval = 1
+	}
+	pos := make([]int, len(logs))
+	live := len(logs)
+	for live > 0 {
+		live = 0
+		for i := range logs {
+			n := len(logs[i].Accesses)
+			if pos[i] >= n {
+				continue
+			}
+			end := pos[i] + interval
+			if end > n {
+				end = n
+			}
+			for _, a := range logs[i].Accesses[pos[i]:end] {
+				sink(logs[i].Thread, a)
+			}
+			pos[i] = end
+			if pos[i] < n {
+				live++
+			}
+		}
+	}
+}
+
+// TotalAccesses sums the log lengths.
+func TotalAccesses(logs []ThreadLog) uint64 {
+	var n uint64
+	for _, l := range logs {
+		n += uint64(len(l.Accesses))
+	}
+	return n
+}

@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"testing"
+
+	"graphlocality/internal/gen"
+)
+
+func TestCollectLogsCoverAllAccesses(t *testing.T) {
+	g := gen.ErdosRenyi(400, 2500, 7)
+	l := NewLayout(g)
+	logs := CollectLogs(g, l, Pull, 4)
+	if TotalAccesses(logs) != CountAccesses(g) {
+		t.Fatalf("logs hold %d accesses, want %d", TotalAccesses(logs), CountAccesses(g))
+	}
+	// Threads must be distinct and ordered.
+	for i, lg := range logs {
+		if lg.Thread != i {
+			t.Errorf("log %d labeled thread %d", i, lg.Thread)
+		}
+	}
+}
+
+func TestReplayEqualsRunParallel(t *testing.T) {
+	// The paper's materialized two-phase method and the streaming
+	// interleaver must produce the identical access sequence.
+	g := gen.WebGraph(gen.DefaultWebGraph(1024, 6, 3))
+	l := NewLayout(g)
+	const threads, interval = 3, 17
+
+	var streamed []Access
+	RunParallel(g, l, Pull, threads, interval, func(a Access) {
+		streamed = append(streamed, a)
+	})
+
+	var replayed []Access
+	logs := CollectLogs(g, l, Pull, threads)
+	Replay(logs, interval, func(a Access) {
+		replayed = append(replayed, a)
+	})
+
+	if len(streamed) != len(replayed) {
+		t.Fatalf("lengths differ: %d vs %d", len(streamed), len(replayed))
+	}
+	for i := range streamed {
+		if streamed[i] != replayed[i] {
+			t.Fatalf("access %d differs: %+v vs %+v", i, streamed[i], replayed[i])
+		}
+	}
+}
+
+func TestReplayDegenerateInterval(t *testing.T) {
+	g := gen.Ring(50)
+	l := NewLayout(g)
+	logs := CollectLogs(g, l, Push, 2)
+	var n uint64
+	Replay(logs, 0, func(Access) { n++ })
+	if n != CountAccesses(g) {
+		t.Errorf("replayed %d accesses, want %d", n, CountAccesses(g))
+	}
+}
+
+func TestReplayWithThread(t *testing.T) {
+	g := gen.WebGraph(gen.DefaultWebGraph(512, 6, 5))
+	l := NewLayout(g)
+	logs := CollectLogs(g, l, Pull, 3)
+	// Threaded replay yields the same sequence as plain replay, with a
+	// valid thread id attached to every access.
+	var plain []Access
+	Replay(logs, 16, func(a Access) { plain = append(plain, a) })
+	var threaded []Access
+	counts := map[int]uint64{}
+	ReplayWithThread(logs, 16, func(thread int, a Access) {
+		if thread < 0 || thread >= len(logs) {
+			t.Fatalf("bad thread id %d", thread)
+		}
+		counts[thread]++
+		threaded = append(threaded, a)
+	})
+	if len(plain) != len(threaded) {
+		t.Fatalf("lengths differ: %d vs %d", len(plain), len(threaded))
+	}
+	for i := range plain {
+		if plain[i] != threaded[i] {
+			t.Fatalf("sequence diverged at %d", i)
+		}
+	}
+	for i, lg := range logs {
+		if counts[i] != uint64(len(lg.Accesses)) {
+			t.Errorf("thread %d delivered %d accesses, want %d", i, counts[i], len(lg.Accesses))
+		}
+	}
+	// Degenerate interval clamps.
+	var n uint64
+	ReplayWithThread(logs, 0, func(int, Access) { n++ })
+	if n != TotalAccesses(logs) {
+		t.Error("interval clamp broken")
+	}
+}
+
+func TestCollectLogsPushDirection(t *testing.T) {
+	g := gen.Star(100)
+	l := NewLayout(g)
+	logs := CollectLogs(g, l, Push, 0) // degenerate thread count
+	if len(logs) == 0 || TotalAccesses(logs) != CountAccesses(g) {
+		t.Fatal("push logs wrong")
+	}
+}

@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary trace format: traces can be written once and replayed against
+// many cache configurations (the tooling side of the paper's two-phase
+// method — log once, simulate under different replacement policies or
+// geometries without regenerating the traversal).
+//
+// Layout (little-endian): magic "GLTR", version, thread count, then per
+// thread: thread id, access count, and packed 24-byte access records
+// (addr u64, vertex u32, dest u32, kind u8, write u8, 6 pad bytes
+// implied by field layout — records are written field by field).
+
+const (
+	traceMagic   = "GLTR"
+	traceVersion = 1
+)
+
+// WriteLogs serializes thread logs to w.
+func WriteLogs(logs []ThreadLog, w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(traceMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(traceVersion)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(logs))); err != nil {
+		return err
+	}
+	for _, lg := range logs {
+		if err := binary.Write(bw, binary.LittleEndian, uint32(lg.Thread)); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint64(len(lg.Accesses))); err != nil {
+			return err
+		}
+		for _, a := range lg.Accesses {
+			var wr uint8
+			if a.Write {
+				wr = 1
+			}
+			rec := packedAccess{
+				Addr: a.Addr, Vertex: a.Vertex, Dest: a.Dest,
+				Kind: uint8(a.Kind), Write: wr,
+			}
+			if err := binary.Write(bw, binary.LittleEndian, rec); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// packedAccess is the fixed-size on-disk record.
+type packedAccess struct {
+	Addr   uint64
+	Vertex uint32
+	Dest   uint32
+	Kind   uint8
+	Write  uint8
+	_      [6]uint8 // explicit padding keeps the record size stable
+}
+
+// ReadLogs deserializes thread logs written by WriteLogs.
+func ReadLogs(r io.Reader) ([]ThreadLog, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(traceMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic) != traceMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	var version, count uint32
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, err
+	}
+	if version != traceVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", version)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, err
+	}
+	logs := make([]ThreadLog, 0, count)
+	for i := uint32(0); i < count; i++ {
+		var thread uint32
+		var n uint64
+		if err := binary.Read(br, binary.LittleEndian, &thread); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+			return nil, err
+		}
+		lg := ThreadLog{Thread: int(thread)}
+		// Chunked reads keep a corrupt count from allocating unbounded
+		// memory before hitting EOF.
+		const chunk = 1 << 15
+		for read := uint64(0); read < n; {
+			c := n - read
+			if c > chunk {
+				c = chunk
+			}
+			buf := make([]packedAccess, c)
+			if err := binary.Read(br, binary.LittleEndian, buf); err != nil {
+				return nil, fmt.Errorf("trace: reading accesses: %w", err)
+			}
+			for _, rec := range buf {
+				lg.Accesses = append(lg.Accesses, Access{
+					Addr: rec.Addr, Vertex: rec.Vertex, Dest: rec.Dest,
+					Kind: Kind(rec.Kind), Write: rec.Write != 0,
+				})
+			}
+			read += c
+		}
+		logs = append(logs, lg)
+	}
+	return logs, nil
+}

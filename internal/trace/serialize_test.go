@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"graphlocality/internal/gen"
+)
+
+func TestLogsRoundTrip(t *testing.T) {
+	g := gen.WebGraph(gen.DefaultWebGraph(512, 6, 1))
+	l := NewLayout(g)
+	logs := CollectLogs(g, l, Pull, 3)
+
+	var buf bytes.Buffer
+	if err := WriteLogs(logs, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadLogs(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(logs) {
+		t.Fatalf("thread count %d, want %d", len(got), len(logs))
+	}
+	for i := range logs {
+		if got[i].Thread != logs[i].Thread {
+			t.Fatalf("thread id mismatch at %d", i)
+		}
+		if len(got[i].Accesses) != len(logs[i].Accesses) {
+			t.Fatalf("log %d length %d, want %d", i, len(got[i].Accesses), len(logs[i].Accesses))
+		}
+		for j := range logs[i].Accesses {
+			if got[i].Accesses[j] != logs[i].Accesses[j] {
+				t.Fatalf("access %d/%d differs: %+v vs %+v",
+					i, j, got[i].Accesses[j], logs[i].Accesses[j])
+			}
+		}
+	}
+}
+
+func TestReadLogsErrors(t *testing.T) {
+	if _, err := ReadLogs(strings.NewReader("BOGUS")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := ReadLogs(strings.NewReader("GL")); err == nil {
+		t.Error("truncated magic accepted")
+	}
+	// Truncated body: valid header claiming more accesses than present.
+	g := gen.Ring(20)
+	l := NewLayout(g)
+	logs := CollectLogs(g, l, Pull, 1)
+	var buf bytes.Buffer
+	if err := WriteLogs(logs, &buf); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-8]
+	if _, err := ReadLogs(bytes.NewReader(cut)); err == nil {
+		t.Error("truncated trace accepted")
+	}
+}
+
+func TestLogsRoundTripReplayEquivalence(t *testing.T) {
+	// A deserialized trace replays identically to the original.
+	g := gen.SocialNetwork(9, 8, 2)
+	l := NewLayout(g)
+	logs := CollectLogs(g, l, Pull, 2)
+	var buf bytes.Buffer
+	if err := WriteLogs(logs, &buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadLogs(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b []Access
+	Replay(logs, 32, func(x Access) { a = append(a, x) })
+	Replay(loaded, 32, func(x Access) { b = append(b, x) })
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at %d", i)
+		}
+	}
+}
