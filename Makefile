@@ -1,0 +1,18 @@
+# Tier-1 verification lives in verify.sh; `make verify` is the one command
+# to run before committing.
+.PHONY: verify build test race vet
+
+verify:
+	./verify.sh
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+vet:
+	go vet ./...

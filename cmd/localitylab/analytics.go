@@ -19,7 +19,7 @@ func cmdAnalytics(args []string) error {
 	iters := fs.Int("iters", 10, "iterations for hits/lp/pagerank")
 	fs.Parse(args)
 	if *in == "" {
-		return fmt.Errorf("-graph is required")
+		return usagef("-graph is required")
 	}
 	g, err := loadGraph(*in)
 	if err != nil {
@@ -76,7 +76,7 @@ func cmdAnalytics(args []string) error {
 		fmt.Printf("PageRank: top vertex %d (rank %.3e, in-degree %d)\n",
 			top, best, g.InDegree(uint32(top)))
 	default:
-		return fmt.Errorf("unknown analytic %q", *algo)
+		return usagef("unknown analytic %q", *algo)
 	}
 	return nil
 }
@@ -87,7 +87,7 @@ func cmdIHTL(args []string) error {
 	cacheBytes := fs.Uint64("cachebytes", 0, "flipped-block accumulator budget (0 = half the scaled L3)")
 	fs.Parse(args)
 	if *in == "" {
-		return fmt.Errorf("-graph is required")
+		return usagef("-graph is required")
 	}
 	g, err := loadGraph(*in)
 	if err != nil {

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"graphlocality/internal/runctl"
+)
+
+func TestExitCodeMapping(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"success", nil, 0},
+		{"usage", usagef("-graph is required"), exitUsage},
+		{"wrapped usage", errorsJoin(usagef("bad flag")), exitUsage},
+		{"interrupt", context.Canceled, exitInterrupt},
+		{"cooperative cancel", runctl.ErrCanceled, exitInterrupt},
+		{"stage failure", &runctl.StageError{Stage: "reorder/TwtrS/GO", Attempts: 3,
+			Err: errors.New("boom")}, exitFailure},
+		{"stage panic", &runctl.StageError{Stage: "reorder/TwtrS/RO", Attempts: 1,
+			Recovered: "kaboom"}, exitFailure},
+		{"plain failure", errors.New("disk full"), exitFailure},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := exitCode(tc.err); got != tc.want {
+				t.Errorf("exitCode(%v) = %d, want %d", tc.err, got, tc.want)
+			}
+		})
+	}
+}
+
+func errorsJoin(err error) error {
+	return errors.Join(errors.New("outer"), err)
+}
+
+func TestUsageErrorMessage(t *testing.T) {
+	err := usagef("unknown experiment %q", "tableX")
+	if err.Error() != `unknown experiment "tableX"` {
+		t.Errorf("message = %q", err.Error())
+	}
+}

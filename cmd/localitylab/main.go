@@ -15,11 +15,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"graphlocality/internal/cachesim"
 	"graphlocality/internal/core"
@@ -27,15 +31,24 @@ import (
 	"graphlocality/internal/gen"
 	"graphlocality/internal/graph"
 	"graphlocality/internal/reorder"
+	"graphlocality/internal/runctl"
 	"graphlocality/internal/spmv"
 	"graphlocality/internal/trace"
 	"graphlocality/internal/viz"
 )
 
+// Exit codes: 0 success, 1 stage or runtime failure, 2 usage error,
+// 130 interrupted (SIGINT caught, orderly checkpoint-then-exit).
+const (
+	exitFailure   = 1
+	exitUsage     = 2
+	exitInterrupt = 130
+)
+
 func main() {
 	if len(os.Args) < 2 {
 		usage()
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
 	var err error
 	switch os.Args[1] {
@@ -68,12 +81,48 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "localitylab: unknown command %q\n", os.Args[1])
 		usage()
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
-	if err != nil {
+	os.Exit(exitCode(err))
+}
+
+// exitCode maps an error to the process exit status, printing the
+// diagnostic: usage errors exit 2, cancellation (SIGINT) exits 130, and
+// stage failures print the failing stage name and exit 1.
+func exitCode(err error) int {
+	if err == nil {
+		return 0
+	}
+	var ue *usageError
+	var se *runctl.StageError
+	switch {
+	case errors.As(err, &ue):
 		fmt.Fprintln(os.Stderr, "localitylab:", err)
-		os.Exit(1)
+		return exitUsage
+	case errors.Is(err, context.Canceled), errors.Is(err, runctl.ErrCanceled):
+		fmt.Fprintln(os.Stderr, "localitylab: interrupted; checkpointed work is preserved")
+		return exitInterrupt
+	case errors.Is(err, context.DeadlineExceeded):
+		fmt.Fprintln(os.Stderr, "localitylab: run deadline exceeded; checkpointed work is preserved")
+		return exitFailure
+	case errors.As(err, &se):
+		// se.Error() leads with the failing stage name.
+		fmt.Fprintf(os.Stderr, "localitylab: %v (after %d attempt(s))\n", se, se.Attempts)
+		return exitFailure
+	default:
+		fmt.Fprintln(os.Stderr, "localitylab:", err)
+		return exitFailure
 	}
+}
+
+// usageError marks bad invocations (missing/invalid arguments) so main can
+// exit 2 rather than 1.
+type usageError struct{ msg string }
+
+func (e *usageError) Error() string { return e.msg }
+
+func usagef(format string, args ...any) error {
+	return &usageError{msg: fmt.Sprintf(format, args...)}
 }
 
 func usage() {
@@ -120,7 +169,7 @@ func cmdSpy(args []string) error {
 	pgm := fs.String("pgm", "", "also write a PGM image to this path")
 	fs.Parse(args)
 	if *in == "" {
-		return fmt.Errorf("-graph is required")
+		return usagef("-graph is required")
 	}
 	g, err := loadGraph(*in)
 	if err != nil {
@@ -150,7 +199,7 @@ func cmdAdvise(args []string) error {
 	in := fs.String("graph", "", "input graph (binary)")
 	fs.Parse(args)
 	if *in == "" {
-		return fmt.Errorf("-graph is required")
+		return usagef("-graph is required")
 	}
 	g, err := loadGraph(*in)
 	if err != nil {
@@ -188,7 +237,7 @@ func cmdGen(args []string) error {
 	case "ba":
 		g = gen.PreferentialAttachment(1<<*scale, *edgeFac, *seed)
 	default:
-		return fmt.Errorf("unknown kind %q", *kind)
+		return usagef("unknown kind %q", *kind)
 	}
 	fmt.Println(g)
 	if *out == "" {
@@ -205,7 +254,7 @@ func cmdReorder(args []string) error {
 	out := fs.String("out", "", "output relabeled graph; empty skips writing")
 	fs.Parse(args)
 	if *in == "" {
-		return fmt.Errorf("-graph is required")
+		return usagef("-graph is required")
 	}
 	g, err := loadGraph(*in)
 	if err != nil {
@@ -215,7 +264,19 @@ func cmdReorder(args []string) error {
 	if err != nil {
 		return err
 	}
-	res := reorder.Run(alg, g)
+	// Run the RA as a controlled stage so a panic inside it surfaces as a
+	// *runctl.StageError naming the stage (exit 1) instead of crashing.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	var res reorder.Result
+	err = runctl.New(ctx, runctl.Config{}).Run("reorder/"+alg.Name(), func(ctx context.Context) error {
+		r, err := reorder.RunContext(ctx, alg, g)
+		res = r
+		return err
+	})
+	if err != nil {
+		return err
+	}
 	fmt.Printf("%s: preprocessing %.3fs, %.1f MB allocated\n",
 		res.Algorithm, res.Elapsed.Seconds(), float64(res.AllocBytes)/1e6)
 	if *out == "" {
@@ -237,7 +298,7 @@ func cmdMetrics(args []string) error {
 	util := fs.Bool("utilization", false, "cache-line word utilization")
 	fs.Parse(args)
 	if *in == "" {
-		return fmt.Errorf("-graph is required")
+		return usagef("-graph is required")
 	}
 	g, err := loadGraph(*in)
 	if err != nil {
@@ -318,7 +379,7 @@ func cmdSpMV(args []string) error {
 	dir := fs.String("dir", "pull", "traversal direction: pull, push, pushread")
 	fs.Parse(args)
 	if *in == "" {
-		return fmt.Errorf("-graph is required")
+		return usagef("-graph is required")
 	}
 	g, err := loadGraph(*in)
 	if err != nil {
@@ -344,7 +405,7 @@ func cmdSpMV(args []string) error {
 			}
 			st = e.Push(src, dst)
 		default:
-			return fmt.Errorf("unknown direction %q", *dir)
+			return usagef("unknown direction %q", *dir)
 		}
 		fmt.Printf("iter %d: %7.2f ms, idle %4.1f%%, steals %d (threads %d)\n",
 			it, float64(st.Elapsed.Microseconds())/1000, st.IdlePct, st.Steals, st.Threads)
@@ -363,7 +424,7 @@ func cmdSimulate(args []string) error {
 		"vertex-data fraction held by the scaled L3")
 	fs.Parse(args)
 	if *in == "" {
-		return fmt.Errorf("-graph is required")
+		return usagef("-graph is required")
 	}
 	g, err := loadGraph(*in)
 	if err != nil {
@@ -378,7 +439,7 @@ func cmdSimulate(args []string) error {
 	case "pushread":
 		dir = trace.PushRead
 	default:
-		return fmt.Errorf("unknown direction %q", *dirName)
+		return usagef("unknown direction %q", *dirName)
 	}
 	cfg := cachesim.ScaledL3(g.NumVertices(), *fraction)
 	tlbCfg := cachesim.ScaledTLB(trace.NewLayout(g).FootprintBytes(), 0.10)
@@ -404,6 +465,11 @@ func cmdExperiment(args []string) error {
 	sizeName := fs.String("size", "standard", "dataset scale: tiny or standard")
 	csvDir := fs.String("csv", "", "also write machine-readable CSV files into this directory")
 	graphsFlag := fs.String("graphs", "", "comma-separated binary graph files to use instead of the synthetic suite")
+	cacheDir := fs.String("cachedir", "", "checkpoint computed permutations into this directory (write-through)")
+	resume := fs.Bool("resume", false, "reload permutations checkpointed in -cachedir instead of recomputing")
+	stageTimeout := fs.Duration("stage-timeout", 0, "per-stage deadline; an overrunning RA degrades to Initial (0 = none)")
+	totalTimeout := fs.Duration("timeout", 0, "whole-run deadline (0 = none)")
+	heartbeat := fs.Duration("heartbeat", 0, "emit stage progress heartbeats to stderr at this interval (0 = off)")
 	// The experiment id is the first non-flag argument.
 	var id string
 	if len(args) > 0 && args[0][0] != '-' {
@@ -412,13 +478,47 @@ func cmdExperiment(args []string) error {
 	}
 	fs.Parse(args)
 	if id == "" {
-		return fmt.Errorf("experiment id required (table1..table7, fig1..fig6, edr, gap, ihtl, hybrid, hilbert, utilization, all)")
+		return usagef("experiment id required (table1..table7, fig1..fig6, edr, gap, ihtl, hybrid, hilbert, utilization, all)")
+	}
+	if *resume && *cacheDir == "" {
+		return usagef("-resume requires -cachedir")
 	}
 	size := expt.Standard
 	if *sizeName == "tiny" {
 		size = expt.Tiny
 	}
+
+	// SIGINT cancels the root context: in-flight stages notice within one
+	// poll interval, completed permutations are already checkpointed
+	// write-through, and main exits 130.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *totalTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *totalTimeout)
+		defer cancel()
+	}
+	cfg := runctl.Config{
+		StageTimeout: *stageTimeout,
+		Heartbeat:    *heartbeat,
+	}
+	if *heartbeat > 0 {
+		cfg.OnEvent = func(ev runctl.Event) {
+			switch ev.Kind {
+			case runctl.EventHeartbeat:
+				fmt.Fprintf(os.Stderr, "localitylab: stage %s running for %v\n",
+					ev.Stage, ev.Elapsed.Round(time.Millisecond))
+			case runctl.EventRetry:
+				fmt.Fprintf(os.Stderr, "localitylab: stage %s attempt %d failed (%v); retrying\n",
+					ev.Stage, ev.Attempt, ev.Err)
+			}
+		}
+	}
+
 	s := expt.NewSession()
+	s.Ctrl = runctl.New(ctx, cfg)
+	s.CacheDir = *cacheDir
+	s.Resume = *resume
 	ds := expt.Suite(size)
 	if *graphsFlag != "" {
 		ds = nil
@@ -558,11 +658,19 @@ func cmdExperiment(args []string) error {
 			fmt.Println("== cache-line word utilization per RA (spatial-locality companion to Table V) ==")
 			fmt.Print(expt.RenderUtilization(expt.UtilizationExperiment(s, contrastOnly(ds), algs)))
 		default:
-			return fmt.Errorf("unknown experiment %q", one)
+			return usagef("unknown experiment %q", one)
 		}
 		return nil
 	}
 
+	finish := func() error {
+		for stage, reason := range s.DegradedStages() {
+			fmt.Fprintf(os.Stderr, "localitylab: stage %s degraded to Initial: %s\n", stage, reason)
+		}
+		// A dead root context (SIGINT or -timeout) trumps the partial output:
+		// report the interruption so main exits 130.
+		return ctx.Err()
+	}
 	if id == "all" {
 		for _, one := range []string{"table1", "table2", "table3", "table4", "table5",
 			"table6", "table7", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "edr", "gap",
@@ -571,10 +679,16 @@ func cmdExperiment(args []string) error {
 				return err
 			}
 			fmt.Println()
+			if ctx.Err() != nil {
+				break
+			}
 		}
-		return nil
+		return finish()
 	}
-	return run(id)
+	if err := run(id); err != nil {
+		return err
+	}
+	return finish()
 }
 
 // contrastOnly returns one social and one web dataset.

@@ -74,7 +74,7 @@ func cmdReplay(args []string) error {
 	case "drrip":
 		policy = cachesim.DRRIP
 	default:
-		return fmt.Errorf("unknown policy %q", *policyName)
+		return usagef("unknown policy %q", *policyName)
 	}
 	cfg := cachesim.Config{
 		Name: "L3", LineSize: *lineSize, Sets: *sets, Ways: *ways,

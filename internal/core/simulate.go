@@ -1,13 +1,23 @@
 package core
 
 import (
+	"context"
+
 	"graphlocality/internal/cachesim"
 	"graphlocality/internal/graph"
+	"graphlocality/internal/runctl"
 	"graphlocality/internal/trace"
 )
 
 // SimOptions configures an SpMV cache simulation.
 type SimOptions struct {
+	// Ctx, when non-nil, is polled every PollEvery accesses; when it dies
+	// the simulation stops early and the result carries the counters
+	// accumulated so far with Canceled set.
+	Ctx context.Context
+	// PollEvery is the cancellation-poll granularity in accesses
+	// (0 = runctl.DefaultPollInterval).
+	PollEvery int
 	// Direction of the traversal (default Pull).
 	Direction trace.Direction
 	// Threads emulated by the paper's two-phase parallel simulation; 1
@@ -54,6 +64,9 @@ type SimResult struct {
 	ECS float64
 	// Snapshots is the number of content scans taken.
 	Snapshots int
+	// Canceled reports that SimOptions.Ctx died mid-traversal and the
+	// counters cover only the prefix of the access stream.
+	Canceled bool
 }
 
 // SimulateSpMV drives one SpMV traversal of g through the cache simulator
@@ -87,8 +100,9 @@ func SimulateSpMV(g *graph.Graph, opts SimOptions) SimResult {
 	totalLines := float64(opts.Cache.Sets * opts.Cache.Ways)
 	var ecsSum float64
 	var accesses uint64
+	poll := runctl.NewPoller(opts.Ctx, opts.PollEvery)
 
-	sink := func(a trace.Access) {
+	sink := func(a trace.Access) bool {
 		hit := cache.Access(a.Addr, a.Write)
 		if tlb != nil {
 			tlb.Access(a.Addr)
@@ -117,12 +131,13 @@ func SimulateSpMV(g *graph.Graph, opts SimOptions) SimResult {
 			ecsSum += 100 * float64(dataLines) / totalLines
 			res.Snapshots++
 		}
+		return poll.Check() == nil
 	}
 
 	if opts.Threads == 1 {
-		trace.Run(g, layout, opts.Direction, sink)
+		res.Canceled = !trace.RunUntil(g, layout, opts.Direction, sink)
 	} else {
-		trace.RunParallel(g, layout, opts.Direction, opts.Threads, opts.Interval, sink)
+		res.Canceled = !trace.RunParallelUntil(g, layout, opts.Direction, opts.Threads, opts.Interval, sink)
 	}
 
 	res.Cache = cache.Stats()

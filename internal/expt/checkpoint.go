@@ -1,0 +1,157 @@
+package expt
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"graphlocality/internal/graph"
+	"graphlocality/internal/reorder"
+)
+
+// Permutation checkpoints persist the expensive output of a reordering
+// stage so a crashed or interrupted experiment run can resume without
+// recomputation. One file per dataset/algorithm pair, written atomically
+// (temp file + rename) right after the stage completes, so whatever was
+// finished before a SIGINT or panic survives.
+//
+// Format (little-endian): magic "GLPC", version u32, |V| u32, elapsed ns
+// u64, alloc bytes u64, perm [|V|]u32, FNV-64a checksum u64 over all
+// preceding bytes. Loads validate magic, version, size, checksum, and
+// that the payload is a proper permutation of [0, |V|).
+
+const (
+	checkpointMagic   = "GLPC"
+	checkpointVersion = 1
+)
+
+// CheckpointPath returns the checkpoint file for a dataset/algorithm pair.
+// Names are sanitized so algorithm names like "RO+GO" or dataset names
+// derived from file paths cannot escape dir.
+func CheckpointPath(dir, dsName, algName string) string {
+	return filepath.Join(dir, sanitize(dsName)+"__"+sanitize(algName)+".perm")
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '.':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}
+
+// SavePermCheckpoint atomically writes the permutation of res for the
+// given dataset/algorithm pair under dir (created if missing).
+func SavePermCheckpoint(dir, dsName, algName string, res reorder.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := CheckpointPath(dir, dsName, algName)
+	tmp, err := os.CreateTemp(dir, ".perm-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+
+	h := fnv.New64a()
+	bw := bufio.NewWriter(io.MultiWriter(tmp, h))
+	if _, err := bw.WriteString(checkpointMagic); err != nil {
+		return err
+	}
+	hdr := []any{
+		uint32(checkpointVersion),
+		uint32(len(res.Perm)),
+		uint64(res.Elapsed.Nanoseconds()),
+		res.AllocBytes,
+	}
+	for _, x := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, x); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, []uint32(res.Perm)); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if err := binary.Write(tmp, binary.LittleEndian, h.Sum64()); err != nil {
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// LoadPermCheckpoint reads and validates the checkpoint for the given
+// dataset/algorithm pair. n is the expected vertex count; a checkpoint of
+// any other size (e.g. written for a different -size suite) is rejected.
+// The file is small (4 bytes per vertex) so it is read whole; the
+// checksum covers every byte before the trailing sum.
+func LoadPermCheckpoint(dir, dsName, algName string, n uint32) (reorder.Result, error) {
+	path := CheckpointPath(dir, dsName, algName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return reorder.Result{}, err
+	}
+	const hdrLen = len(checkpointMagic) + 4 + 4 + 8 + 8
+	if len(data) < hdrLen+8 {
+		return reorder.Result{}, fmt.Errorf("expt: checkpoint %s: truncated (%d bytes)", path, len(data))
+	}
+	body, tail := data[:len(data)-8], data[len(data)-8:]
+	h := fnv.New64a()
+	h.Write(body)
+	if h.Sum64() != binary.LittleEndian.Uint64(tail) {
+		return reorder.Result{}, fmt.Errorf("expt: checkpoint %s: checksum mismatch", path)
+	}
+	if string(body[:len(checkpointMagic)]) != checkpointMagic {
+		return reorder.Result{}, fmt.Errorf("expt: checkpoint %s: bad magic %q", path, body[:len(checkpointMagic)])
+	}
+	br := bytes.NewReader(body[len(checkpointMagic):])
+	var version, count uint32
+	var elapsedNs, alloc uint64
+	for _, p := range []any{&version, &count, &elapsedNs, &alloc} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return reorder.Result{}, fmt.Errorf("expt: checkpoint %s: reading header: %w", path, err)
+		}
+	}
+	if version != checkpointVersion {
+		return reorder.Result{}, fmt.Errorf("expt: checkpoint %s: unsupported version %d", path, version)
+	}
+	if count != n {
+		return reorder.Result{}, fmt.Errorf("expt: checkpoint %s: %d vertices, want %d", path, count, n)
+	}
+	if br.Len() != int(count)*4 {
+		return reorder.Result{}, fmt.Errorf("expt: checkpoint %s: %d payload bytes, want %d", path, br.Len(), count*4)
+	}
+	perm := make(graph.Permutation, count)
+	if err := binary.Read(br, binary.LittleEndian, []uint32(perm)); err != nil {
+		return reorder.Result{}, fmt.Errorf("expt: checkpoint %s: reading permutation: %w", path, err)
+	}
+	// The payload must be a bijection on [0, n).
+	seen := make([]bool, count)
+	for old, nw := range perm {
+		if nw >= count || seen[nw] {
+			return reorder.Result{}, fmt.Errorf("expt: checkpoint %s: not a permutation at index %d", path, old)
+		}
+		seen[nw] = true
+	}
+	return reorder.Result{
+		Algorithm:  algName,
+		Perm:       perm,
+		Elapsed:    time.Duration(elapsedNs),
+		AllocBytes: alloc,
+	}, nil
+}

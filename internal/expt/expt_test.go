@@ -344,8 +344,10 @@ func TestFrameworkGap(t *testing.T) {
 	if r.EngineMS <= 0 || r.NaiveMS <= 0 {
 		t.Fatalf("times: %+v", r)
 	}
-	// The naive map-based traversal must be slower.
-	if r.Speedup <= 1 {
+	// The naive map-based traversal must be slower. The race detector's
+	// instrumentation penalizes the parallel engine far more than the
+	// sequential naive loop, so the speedup assertion only holds without it.
+	if !raceEnabled && r.Speedup <= 1 {
 		t.Errorf("engine not faster than naive: %.2fx", r.Speedup)
 	}
 	_ = RenderGap(rows)

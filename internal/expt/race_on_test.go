@@ -1,0 +1,7 @@
+//go:build race
+
+package expt
+
+// raceEnabled reports that the race detector is instrumenting this build;
+// wall-clock performance assertions are meaningless under it.
+const raceEnabled = true

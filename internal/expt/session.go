@@ -1,6 +1,8 @@
 package expt
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"time"
@@ -9,6 +11,7 @@ import (
 	"graphlocality/internal/core"
 	"graphlocality/internal/graph"
 	"graphlocality/internal/reorder"
+	"graphlocality/internal/runctl"
 	"graphlocality/internal/spmv"
 	"graphlocality/internal/trace"
 )
@@ -17,6 +20,13 @@ import (
 // run: generated graphs, reordering results and relabeled graphs. All
 // tables and figures of one invocation share a Session so each reordering
 // is computed exactly once. Not safe for concurrent use.
+//
+// Every reordering and simulation runs as a run-control stage: a panic or
+// deadline overrun inside one RA is isolated into a *runctl.StageError,
+// the affected rows fall back to the Initial ordering (marked degraded in
+// table output), and the rest of the run proceeds. With CacheDir set,
+// computed permutations are checkpointed to disk write-through; a Resume
+// session reloads them instead of recomputing after a crash or SIGINT.
 type Session struct {
 	// Threads used by the engine and the interleaved simulation.
 	Threads int
@@ -27,9 +37,21 @@ type Session struct {
 	// Repeats for wall-clock timing of traversals.
 	Repeats int
 
+	// Ctrl executes the session's stages (cancellation, deadlines, panic
+	// isolation, retries). Lazily created with default config when nil.
+	Ctrl *runctl.Controller
+	// CacheDir, when non-empty, is where computed permutations are
+	// checkpointed (write-through, one file per dataset/algorithm pair).
+	CacheDir string
+	// Resume makes Reorder load checkpoints from CacheDir instead of
+	// recomputing.
+	Resume bool
+
 	graphs    map[string]*graph.Graph
 	reorders  map[string]reorder.Result
 	relabeled map[string]*graph.Graph
+	degraded  map[string]string // "ds/alg" -> reason the RA fell back to Initial
+	restored  map[string]bool   // "ds/alg" -> permutation came from a checkpoint
 }
 
 // NewSession returns a session with the repo's standard measurement
@@ -44,7 +66,47 @@ func NewSession() *Session {
 		graphs:        make(map[string]*graph.Graph),
 		reorders:      make(map[string]reorder.Result),
 		relabeled:     make(map[string]*graph.Graph),
+		degraded:      make(map[string]string),
+		restored:      make(map[string]bool),
 	}
+}
+
+// controller returns the run controller, creating a default one on first
+// use so panic isolation and degradation work without explicit setup.
+func (s *Session) controller() *runctl.Controller {
+	if s.Ctrl == nil {
+		s.Ctrl = runctl.New(context.Background(), runctl.Config{})
+	}
+	return s.Ctrl
+}
+
+// Canceled reports whether the session's root context has died (e.g.
+// SIGINT): remaining stages degrade immediately so the run unwinds fast.
+func (s *Session) Canceled() bool {
+	return s.Ctrl != nil && s.Ctrl.Err() != nil
+}
+
+// Degraded reports whether the RA stage for ds/alg failed and fell back to
+// the Initial ordering, and why.
+func (s *Session) Degraded(ds Dataset, alg reorder.Algorithm) (string, bool) {
+	reason, ok := s.degraded[ds.Name+"/"+alg.Name()]
+	return reason, ok
+}
+
+// DegradedStages returns all degraded "dataset/algorithm" keys mapped to
+// their failure reasons.
+func (s *Session) DegradedStages() map[string]string {
+	out := make(map[string]string, len(s.degraded))
+	for k, v := range s.degraded {
+		out[k] = v
+	}
+	return out
+}
+
+// Restored reports whether the permutation for ds/alg was loaded from a
+// checkpoint rather than computed this run.
+func (s *Session) Restored(ds Dataset, alg reorder.Algorithm) bool {
+	return s.restored[ds.Name+"/"+alg.Name()]
 }
 
 // EngineThreads returns the worker count for wall-clock traversals: the
@@ -69,19 +131,72 @@ func (s *Session) Graph(ds Dataset) *graph.Graph {
 	return g
 }
 
-// Reorder returns the memoized reordering result of alg on ds.
+// Reorder returns the memoized reordering result of alg on ds. The
+// computation runs as the run-control stage "reorder/<ds>/<alg>": a panic,
+// deadline overrun or exhausted retry degrades the result to the Initial
+// ordering (recorded; see Degraded) instead of aborting the run. With
+// Resume set, a valid checkpoint in CacheDir short-circuits the
+// computation; with CacheDir set, fresh results are checkpointed
+// write-through.
 func (s *Session) Reorder(ds Dataset, alg reorder.Algorithm) reorder.Result {
 	key := ds.Name + "/" + alg.Name()
 	if r, ok := s.reorders[key]; ok {
 		return r
 	}
-	r := reorder.Run(alg, s.Graph(ds))
-	s.reorders[key] = r
-	return r
+	g := s.Graph(ds)
+	if s.Resume && s.CacheDir != "" {
+		if r, err := LoadPermCheckpoint(s.CacheDir, ds.Name, alg.Name(), g.NumVertices()); err == nil {
+			s.restored[key] = true
+			s.reorders[key] = r
+			return r
+		}
+	}
+	stage := "reorder/" + key
+	var res reorder.Result
+	err := s.controller().Run(stage, func(ctx context.Context) error {
+		if err := runctl.Fire(ctx, stage); err != nil {
+			return err
+		}
+		r, err := reorder.RunContext(ctx, alg, g)
+		if err != nil {
+			return err
+		}
+		res = r
+		return nil
+	})
+	if err != nil {
+		// Graceful degradation: the row falls back to the Initial ordering
+		// rather than killing the run and discarding sibling results.
+		res = reorder.Result{Algorithm: alg.Name(), Perm: graph.Identity(g.NumVertices())}
+		s.degraded[key] = degradeReason(err)
+	} else if s.CacheDir != "" {
+		// Best-effort write-through checkpoint; a failed write must not
+		// fail the experiment.
+		_ = SavePermCheckpoint(s.CacheDir, ds.Name, alg.Name(), res)
+	}
+	s.reorders[key] = res
+	return res
+}
+
+// degradeReason compresses a stage failure into the short reason shown in
+// table footnotes.
+func degradeReason(err error) string {
+	var se *runctl.StageError
+	switch {
+	case errors.As(err, &se) && se.Panicked():
+		return fmt.Sprintf("panic: %v", se.Recovered)
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline exceeded"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	default:
+		return err.Error()
+	}
 }
 
 // Relabeled returns the memoized graph of ds relabeled by alg. Identity
-// short-circuits to the original graph.
+// short-circuits to the original graph, as do degraded reorderings (their
+// permutation is the identity).
 func (s *Session) Relabeled(ds Dataset, alg reorder.Algorithm) *graph.Graph {
 	if _, ok := alg.(reorder.Identity); ok {
 		return s.Graph(ds)
@@ -90,7 +205,11 @@ func (s *Session) Relabeled(ds Dataset, alg reorder.Algorithm) *graph.Graph {
 	if g, ok := s.relabeled[key]; ok {
 		return g
 	}
-	g := s.Graph(ds).Relabel(s.Reorder(ds, alg).Perm)
+	r := s.Reorder(ds, alg)
+	if _, deg := s.degraded[key]; deg {
+		return s.Graph(ds)
+	}
+	g := s.Graph(ds).Relabel(r.Perm)
 	s.relabeled[key] = g
 	return g
 }
@@ -107,7 +226,11 @@ func (s *Session) TLBFor(ds Dataset) cachesim.TLBConfig {
 }
 
 // Simulate runs the interleaved-parallel cache+TLB simulation of one pull
-// SpMV over the relabeled graph.
+// SpMV over the relabeled graph. The simulation runs as the run-control
+// stage "simulate/<ds>/<alg>": it polls the stage context, so SIGINT or a
+// stage deadline stops it early (Canceled set on the partial counters),
+// and a panic inside the simulator degrades to zeroed counters instead of
+// killing the run.
 func (s *Session) Simulate(ds Dataset, alg reorder.Algorithm, opts core.SimOptions) core.SimResult {
 	g := s.Relabeled(ds, alg)
 	if opts.Cache == (cachesim.Config{}) {
@@ -116,7 +239,23 @@ func (s *Session) Simulate(ds Dataset, alg reorder.Algorithm, opts core.SimOptio
 	if opts.Threads == 0 {
 		opts.Threads = s.Threads
 	}
-	return core.SimulateSpMV(g, opts)
+	stage := "simulate/" + ds.Name + "/" + alg.Name()
+	var res core.SimResult
+	err := s.controller().Run(stage, func(ctx context.Context) error {
+		if err := runctl.Fire(ctx, stage); err != nil {
+			return err
+		}
+		opts.Ctx = ctx
+		res = core.SimulateSpMV(g, opts)
+		if res.Canceled {
+			return runctl.ErrCanceled
+		}
+		return nil
+	})
+	if err != nil {
+		res.Canceled = true
+	}
+	return res
 }
 
 // TimeTraversal measures the wall-clock time and idle percentage of the
@@ -125,6 +264,7 @@ func (s *Session) Simulate(ds Dataset, alg reorder.Algorithm, opts core.SimOptio
 // iteration time).
 func (s *Session) TimeTraversal(ds Dataset, alg reorder.Algorithm, dir trace.Direction) (time.Duration, float64) {
 	g := s.Relabeled(ds, alg)
+	ctx := s.controller().Context()
 	e := spmv.New(g, s.EngineThreads())
 	n := g.NumVertices()
 	src := make([]float64, n)
@@ -135,19 +275,22 @@ func (s *Session) TimeTraversal(ds Dataset, alg reorder.Algorithm, dir trace.Dir
 	run := func() spmv.Stats {
 		switch dir {
 		case trace.Pull:
-			return e.Pull(src, dst)
+			st, _ := e.PullContext(ctx, src, dst)
+			return st
 		case trace.PushRead:
-			return e.PushRead(src, dst)
+			st, _ := e.PushReadContext(ctx, src, dst)
+			return st
 		default:
 			for i := range dst {
 				dst[i] = 0
 			}
-			return e.Push(src, dst)
+			st, _ := e.PushContext(ctx, src, dst)
+			return st
 		}
 	}
 	run() // warmup
 	best := run()
-	for i := 1; i < s.Repeats; i++ {
+	for i := 1; i < s.Repeats && !best.Canceled; i++ {
 		if st := run(); st.Elapsed < best.Elapsed {
 			best = st
 		}

@@ -68,10 +68,16 @@ type TableIIRow struct {
 	Algorithm  string
 	Preprocess time.Duration
 	AllocBytes uint64
+	// Degraded marks a row whose RA stage failed (panic, deadline, error):
+	// the session fell back to the Initial ordering for this pair.
+	Degraded bool
+	// DegradedReason is the short failure description for degraded rows.
+	DegradedReason string
 }
 
 // TableII measures preprocessing time and allocation for every RA on
-// every dataset.
+// every dataset. RA stage failures do not abort the table: the affected
+// rows are marked degraded (see Session.Reorder).
 func TableII(s *Session, datasets []Dataset, algs []reorder.Algorithm) []TableIIRow {
 	var rows []TableIIRow
 	for _, ds := range datasets {
@@ -80,25 +86,38 @@ func TableII(s *Session, datasets []Dataset, algs []reorder.Algorithm) []TableII
 				continue // the baseline has no preprocessing
 			}
 			r := s.Reorder(ds, alg)
+			reason, deg := s.Degraded(ds, alg)
 			rows = append(rows, TableIIRow{
 				Dataset: ds.Name, Algorithm: r.Algorithm,
 				Preprocess: r.Elapsed, AllocBytes: r.AllocBytes,
+				Degraded: deg, DegradedReason: reason,
 			})
 		}
 	}
 	return rows
 }
 
-// RenderTableII renders preprocessing cost rows.
+// RenderTableII renders preprocessing cost rows. Degraded rows carry a
+// "*" marker and a footnote with the failure reason.
 func RenderTableII(rows []TableIIRow) string {
 	var b strings.Builder
 	w := newTab(&b)
 	fmt.Fprintln(w, "Dataset\tRA\tPreproc (s)\tAlloc (MB)")
+	var notes []string
 	for _, r := range rows {
+		name := r.Algorithm
+		if r.Degraded {
+			name += "*"
+			notes = append(notes, fmt.Sprintf("* %s/%s degraded to Initial: %s",
+				r.Dataset, r.Algorithm, r.DegradedReason))
+		}
 		fmt.Fprintf(w, "%s\t%s\t%s\t%.1f\n",
-			r.Dataset, r.Algorithm, fmtSeconds(r.Preprocess), float64(r.AllocBytes)/1e6)
+			r.Dataset, name, fmtSeconds(r.Preprocess), float64(r.AllocBytes)/1e6)
 	}
 	w.Flush()
+	for _, n := range notes {
+		fmt.Fprintln(&b, n)
+	}
 	return b.String()
 }
 
@@ -177,6 +196,9 @@ type TableIVRow struct {
 	L3Misses   uint64
 	TLBMisses  uint64
 	L3MissRate float64
+	// Degraded marks rows measured over the Initial ordering because the
+	// RA stage failed.
+	Degraded bool
 }
 
 // TableIV runs the real engine (time, idle) and the simulator (L3, DTLB)
@@ -188,28 +210,40 @@ func TableIV(s *Session, datasets []Dataset, algs []reorder.Algorithm) []TableIV
 		for _, alg := range algs {
 			elapsed, idle := s.TimeTraversal(ds, alg, trace.Pull)
 			sim := s.Simulate(ds, alg, core.SimOptions{TLB: &tlb})
+			_, deg := s.Degraded(ds, alg)
 			rows = append(rows, TableIVRow{
 				Dataset: ds.Name, Algorithm: alg.Name(),
 				Time: elapsed, IdlePct: idle,
 				L3Misses: sim.Cache.Misses, TLBMisses: sim.TLB.Misses,
 				L3MissRate: sim.Cache.MissRate(),
+				Degraded:   deg,
 			})
 		}
 	}
 	return rows
 }
 
-// RenderTableIV renders SpMV execution rows.
+// RenderTableIV renders SpMV execution rows; degraded rows are marked "*"
+// (they measure the Initial ordering fallback).
 func RenderTableIV(rows []TableIVRow) string {
 	var b strings.Builder
 	w := newTab(&b)
 	fmt.Fprintln(w, "Dataset\tRA\tTime (ms)\tIdle (%)\tL3 Misses (K)\tDTLB Misses (K)")
+	degraded := false
 	for _, r := range rows {
+		name := r.Algorithm
+		if r.Degraded {
+			name += "*"
+			degraded = true
+		}
 		fmt.Fprintf(w, "%s\t%s\t%s\t%.1f\t%.1f\t%.1f\n",
-			r.Dataset, r.Algorithm, fmtMillis(r.Time), r.IdlePct,
+			r.Dataset, name, fmtMillis(r.Time), r.IdlePct,
 			float64(r.L3Misses)/1e3, float64(r.TLBMisses)/1e3)
 	}
 	w.Flush()
+	if degraded {
+		fmt.Fprintln(&b, "* RA stage failed; row measures the Initial-ordering fallback")
+	}
 	return b.String()
 }
 

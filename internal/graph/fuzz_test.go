@@ -2,6 +2,7 @@ package graph
 
 import (
 	"bytes"
+	"encoding/binary"
 	"strings"
 	"testing"
 )
@@ -43,10 +44,28 @@ func FuzzReadEdgeList(f *testing.F) {
 func FuzzReadBinary(f *testing.F) {
 	var buf bytes.Buffer
 	_ = diamond().WriteBinary(&buf)
-	f.Add(buf.Bytes())
+	valid := buf.Bytes()
+	f.Add(valid)
 	f.Add([]byte("GLCG"))
 	f.Add([]byte{})
 	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	// Corrupt variants of a valid file: truncations at every structural
+	// boundary, a header claiming far more data than follows, and flipped
+	// bytes inside the offset array.
+	f.Add(valid[:len(valid)-1])
+	f.Add(valid[:4+24])
+	f.Add(valid[:4+8])
+	huge := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint64(huge[12:], 1<<40) // |V|
+	f.Add(huge)
+	hugeE := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint64(hugeE[20:], 1<<40) // |E|
+	f.Add(hugeE)
+	flipped := append([]byte(nil), valid...)
+	if len(flipped) > 40 {
+		flipped[36] ^= 0xff // inside the offsets
+	}
+	f.Add(flipped)
 	f.Fuzz(func(t *testing.T, in []byte) {
 		g, err := ReadBinary(bytes.NewReader(in))
 		if err != nil {

@@ -21,6 +21,19 @@ const (
 	binaryVersion = 1
 )
 
+// Limits a binary header may claim before the loader rejects it outright.
+// Both sit far above any graph this toolkit builds, but low enough that a
+// corrupt or hostile header cannot drive the loader toward terabyte-scale
+// allocations or multiplication overflow.
+const (
+	// MaxBinaryVertices bounds |V|; 2^28 vertices already mean 2 GiB of
+	// offset data.
+	MaxBinaryVertices = 1 << 28
+	// MaxBinaryEdges bounds |E|; 2^32 edges already mean 16 GiB of
+	// adjacency data.
+	MaxBinaryEdges = 1 << 32
+)
+
 // WriteBinary serializes the graph's CSR form to w.
 func (g *Graph) WriteBinary(w io.Writer) error {
 	bw := bufio.NewWriter(w)
@@ -42,7 +55,13 @@ func (g *Graph) WriteBinary(w io.Writer) error {
 	return bw.Flush()
 }
 
-// ReadBinary deserializes a graph written by WriteBinary.
+// ReadBinary deserializes a graph written by WriteBinary. The loader is
+// hardened against corrupt or hostile input: it validates the magic and
+// version, caps the claimed |V| and |E| (MaxBinaryVertices,
+// MaxBinaryEdges), checks offset monotonicity and the outOff[n] == |E|
+// invariant as offsets stream in, and bounds-checks every adjacency ID, so
+// a damaged file yields a descriptive error rather than a huge allocation
+// or a panic later on.
 func ReadBinary(r io.Reader) (*Graph, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(binaryMagic))
@@ -50,7 +69,7 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 		return nil, fmt.Errorf("graph: reading magic: %w", err)
 	}
 	if string(magic) != binaryMagic {
-		return nil, fmt.Errorf("graph: bad magic %q", magic)
+		return nil, fmt.Errorf("graph: bad magic %q (want %q)", magic, binaryMagic)
 	}
 	var version, n, m uint64
 	for _, p := range []*uint64{&version, &n, &m} {
@@ -59,30 +78,51 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 		}
 	}
 	if version != binaryVersion {
-		return nil, fmt.Errorf("graph: unsupported version %d", version)
+		return nil, fmt.Errorf("graph: unsupported version %d (want %d)", version, binaryVersion)
 	}
-	if n >= uint64(NoVertex) {
-		return nil, fmt.Errorf("graph: vertex count %d out of range", n)
+	if n > MaxBinaryVertices {
+		return nil, fmt.Errorf("graph: header claims %d vertices, over the loader limit %d", n, uint64(MaxBinaryVertices))
+	}
+	if m > MaxBinaryEdges {
+		return nil, fmt.Errorf("graph: header claims %d edges, over the loader limit %d", m, uint64(MaxBinaryEdges))
 	}
 	// Read in bounded chunks so a corrupt header cannot demand a huge
-	// allocation before EOF is detected.
+	// allocation before EOF is detected, validating as data streams in.
 	const chunk = 1 << 16
 	off := make([]uint64, 0, min64(n+1, chunk))
+	var prev uint64
 	for read := uint64(0); read < n+1; {
 		c := min64(n+1-read, chunk)
 		buf := make([]uint64, c)
 		if err := binary.Read(br, binary.LittleEndian, buf); err != nil {
-			return nil, fmt.Errorf("graph: reading offsets: %w", err)
+			return nil, fmt.Errorf("graph: reading offsets (%d of %d): %w", read, n+1, err)
+		}
+		for i, x := range buf {
+			if x < prev {
+				return nil, fmt.Errorf("graph: offsets not monotone at vertex %d (%d after %d)", read+uint64(i), x, prev)
+			}
+			if x > m {
+				return nil, fmt.Errorf("graph: offset %d of vertex %d exceeds edge count %d", x, read+uint64(i), m)
+			}
+			prev = x
 		}
 		off = append(off, buf...)
 		read += c
+	}
+	if off[n] != m {
+		return nil, fmt.Errorf("graph: tail offset %d != header edge count %d", off[n], m)
 	}
 	adj := make([]uint32, 0, min64(m, chunk))
 	for read := uint64(0); read < m; {
 		c := min64(m-read, chunk)
 		buf := make([]uint32, c)
 		if err := binary.Read(br, binary.LittleEndian, buf); err != nil {
-			return nil, fmt.Errorf("graph: reading edges: %w", err)
+			return nil, fmt.Errorf("graph: reading edges (%d of %d): %w", read, m, err)
+		}
+		for i, u := range buf {
+			if uint64(u) >= n {
+				return nil, fmt.Errorf("graph: adjacency entry %d (value %d) out of range for %d vertices", read+uint64(i), u, n)
+			}
 		}
 		adj = append(adj, buf...)
 		read += c

@@ -1,0 +1,88 @@
+package reorder
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"graphlocality/internal/gen"
+	"graphlocality/internal/graph"
+	"graphlocality/internal/runctl"
+)
+
+// checkPerm fails unless p is a bijection on [0, n) — the invariant every
+// algorithm must uphold even when cancelled mid-run.
+func checkPerm(t *testing.T, p graph.Permutation, n uint32) {
+	t.Helper()
+	if uint32(len(p)) != n {
+		t.Fatalf("permutation length %d, want %d", len(p), n)
+	}
+	seen := make([]bool, n)
+	for old, nw := range p {
+		if nw >= n || seen[nw] {
+			t.Fatalf("not a permutation at index %d (value %d)", old, nw)
+		}
+		seen[nw] = true
+	}
+}
+
+// TestCancellationMidRun checks the three heavyweight algorithms honour a
+// pre-cancelled context: they return quickly (within one poll interval of
+// work), report ErrCanceled, and still hand back a valid permutation.
+func TestCancellationMidRun(t *testing.T) {
+	g := gen.RMAT(gen.DefaultRMAT(10, 8, 3))
+	n := g.NumVertices()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the first poll must observe the dead context
+
+	algs := []ContextAlgorithm{
+		&SlashBurn{KFraction: 0.02, PollEvery: 4},
+		&GOrder{Window: 5, PollEvery: 4},
+		&RabbitOrder{PollEvery: 4},
+	}
+	for _, alg := range algs {
+		a := alg.(Algorithm)
+		t.Run(a.Name(), func(t *testing.T) {
+			perm, err := alg.ReorderContext(ctx, g)
+			if !errors.Is(err, runctl.ErrCanceled) {
+				t.Fatalf("want ErrCanceled, got %v", err)
+			}
+			checkPerm(t, perm, n)
+		})
+	}
+}
+
+// TestContextAlgorithmsCompleteUncancelled checks the ctx-aware paths agree
+// with the plain Reorder path when nothing cancels.
+func TestContextAlgorithmsCompleteUncancelled(t *testing.T) {
+	g := gen.RMAT(gen.DefaultRMAT(8, 8, 3))
+	n := g.NumVertices()
+	algs := []ContextAlgorithm{
+		NewSlashBurn(),
+		NewGOrder(),
+		NewRabbitOrder(),
+	}
+	for _, alg := range algs {
+		a := alg.(Algorithm)
+		t.Run(a.Name(), func(t *testing.T) {
+			perm, err := alg.ReorderContext(context.Background(), g)
+			if err != nil {
+				t.Fatalf("ReorderContext: %v", err)
+			}
+			checkPerm(t, perm, n)
+		})
+	}
+}
+
+// TestRunContextCancelled checks the measurement wrapper surfaces the
+// cancellation error alongside the partial result.
+func TestRunContextCancelled(t *testing.T) {
+	g := gen.RMAT(gen.DefaultRMAT(9, 8, 3))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := RunContext(ctx, &GOrder{Window: 5, PollEvery: 4}, g)
+	if !errors.Is(err, runctl.ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+	checkPerm(t, res.Perm, g.NumVertices())
+}

@@ -1,7 +1,10 @@
 package reorder
 
 import (
+	"context"
+
 	"graphlocality/internal/graph"
+	"graphlocality/internal/runctl"
 )
 
 // GOrder implements the GOrder reordering (Wei, Yu, Lu & Lin, SIGMOD'16)
@@ -25,6 +28,9 @@ import (
 type GOrder struct {
 	// Window is the sliding-window size (default 5).
 	Window int
+	// PollEvery is the cooperative-cancellation granularity of
+	// ReorderContext, in vertex placements (0 = runctl.DefaultPollInterval).
+	PollEvery int
 }
 
 // NewGOrder returns GOrder with the paper's default window of 5.
@@ -35,6 +41,15 @@ func (o *GOrder) Name() string { return "GO" }
 
 // Reorder implements Algorithm.
 func (o *GOrder) Reorder(g *graph.Graph) graph.Permutation {
+	perm, _ := o.ReorderContext(context.Background(), g)
+	return perm
+}
+
+// ReorderContext implements ContextAlgorithm: the placement loop polls ctx
+// every PollEvery placements. On cancellation the not-yet-placed vertices
+// keep their original relative order after the placed prefix, so the
+// partial permutation is still a valid relabeling.
+func (o *GOrder) ReorderContext(ctx context.Context, g *graph.Graph) (graph.Permutation, error) {
 	w := o.Window
 	if w < 1 {
 		w = 5
@@ -42,8 +57,9 @@ func (o *GOrder) Reorder(g *graph.Graph) graph.Permutation {
 	n := g.NumVertices()
 	order := make([]uint32, 0, n)
 	if n == 0 {
-		return orderToPerm(order)
+		return orderToPerm(order), nil
 	}
+	poll := runctl.NewPoller(ctx, o.PollEvery)
 
 	h := newUnitHeap(n)
 
@@ -85,6 +101,20 @@ func (o *GOrder) Reorder(g *graph.Graph) graph.Permutation {
 	}
 
 	for uint32(len(order)) < n {
+		if err := poll.Check(); err != nil {
+			// Complete the permutation with the unplaced vertices in
+			// original order so callers receive a usable partial result.
+			placed := make([]bool, n)
+			for _, v := range order {
+				placed[v] = true
+			}
+			for v := uint32(0); v < n; v++ {
+				if !placed[v] {
+					order = append(order, v)
+				}
+			}
+			return orderToPerm(order), err
+		}
 		v, ok := h.extractMax()
 		if !ok {
 			// Frontier exhausted: re-seed with the highest-degree
@@ -96,7 +126,7 @@ func (o *GOrder) Reorder(g *graph.Graph) graph.Permutation {
 		}
 		place(v)
 	}
-	return orderToPerm(order)
+	return orderToPerm(order), nil
 }
 
 // unitHeap is a bucket priority queue over vertices with small integer

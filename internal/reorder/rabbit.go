@@ -1,9 +1,11 @@
 package reorder
 
 import (
+	"context"
 	"sort"
 
 	"graphlocality/internal/graph"
+	"graphlocality/internal/runctl"
 )
 
 // RabbitOrder implements the Rabbit-Order reordering (Arai et al.,
@@ -34,6 +36,9 @@ type RabbitOrder struct {
 	// vertices in a community"). A natural setting is
 	// cacheBytes / 8 vertex-data entries.
 	MaxCommunitySize uint32
+	// PollEvery is the cooperative-cancellation granularity of
+	// ReorderContext, in merge-loop visits (0 = runctl.DefaultPollInterval).
+	PollEvery int
 
 	lastCommunitySizes []uint32
 }
@@ -74,10 +79,20 @@ func (r *RabbitOrder) Name() string {
 
 // Reorder implements Algorithm.
 func (r *RabbitOrder) Reorder(g *graph.Graph) graph.Permutation {
+	perm, _ := r.ReorderContext(context.Background(), g)
+	return perm
+}
+
+// ReorderContext implements ContextAlgorithm: the community-merge loop
+// polls ctx every PollEvery visited vertices. On cancellation the
+// dendrogram built so far is still flattened into a valid permutation, so
+// the partial result clusters whatever communities had formed.
+func (r *RabbitOrder) ReorderContext(ctx context.Context, g *graph.Graph) (graph.Permutation, error) {
 	n := g.NumVertices()
 	if n == 0 {
-		return graph.Permutation{}
+		return graph.Permutation{}, nil
 	}
+	poll := runctl.NewPoller(ctx, r.PollEvery)
 	und := g.Undirected()
 
 	// EDR filtering: eligible vertices participate in community growth.
@@ -154,7 +169,11 @@ func (r *RabbitOrder) Reorder(g *graph.Graph) graph.Permutation {
 	}
 	visitOrder := graph.VerticesByDegreeAsc(degs)
 
+	var cancelErr error
 	for _, v := range visitOrder {
+		if cancelErr = poll.Check(); cancelErr != nil {
+			break // flatten the dendrogram built so far
+		}
 		if !eligible[v] {
 			continue
 		}
@@ -258,5 +277,5 @@ func (r *RabbitOrder) Reorder(g *graph.Graph) graph.Permutation {
 			next++
 		}
 	}
-	return perm
+	return perm, cancelErr
 }

@@ -10,6 +10,7 @@
 package reorder
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -26,6 +27,15 @@ type Algorithm interface {
 	Reorder(g *graph.Graph) graph.Permutation
 }
 
+// ContextAlgorithm is implemented by the heavy algorithms (SlashBurn,
+// GOrder, Rabbit-Order) whose long loops poll a cancellation checkpoint:
+// when ctx dies mid-run they return the permutation computed so far
+// together with an error wrapping runctl.ErrCanceled.
+type ContextAlgorithm interface {
+	Algorithm
+	ReorderContext(ctx context.Context, g *graph.Graph) (graph.Permutation, error)
+}
+
 // Result captures one reordering run with the preprocessing-cost metrics
 // of the paper's Table II.
 type Result struct {
@@ -40,10 +50,25 @@ type Result struct {
 
 // Run executes alg on g, measuring preprocessing time and allocation.
 func Run(alg Algorithm, g *graph.Graph) Result {
+	res, _ := RunContext(context.Background(), alg, g)
+	return res
+}
+
+// RunContext executes alg on g under ctx, measuring preprocessing time and
+// allocation. Algorithms implementing ContextAlgorithm are cancelable;
+// others run to completion regardless of ctx. On cancellation the returned
+// Result carries the partial permutation alongside the error.
+func RunContext(ctx context.Context, alg Algorithm, g *graph.Graph) (Result, error) {
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	start := time.Now()
-	perm := alg.Reorder(g)
+	var perm graph.Permutation
+	var err error
+	if ca, ok := alg.(ContextAlgorithm); ok {
+		perm, err = ca.ReorderContext(ctx, g)
+	} else {
+		perm = alg.Reorder(g)
+	}
 	elapsed := time.Since(start)
 	runtime.ReadMemStats(&after)
 	return Result{
@@ -51,7 +76,7 @@ func Run(alg Algorithm, g *graph.Graph) Result {
 		Perm:       perm,
 		Elapsed:    elapsed,
 		AllocBytes: after.TotalAlloc - before.TotalAlloc,
-	}
+	}, err
 }
 
 // Registry returns the standard algorithm set by name. Unknown names

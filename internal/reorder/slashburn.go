@@ -1,10 +1,12 @@
 package reorder
 
 import (
+	"context"
 	"math"
 	"sort"
 
 	"graphlocality/internal/graph"
+	"graphlocality/internal/runctl"
 )
 
 // SlashBurn implements the SlashBurn reordering (Lim, Kang & Faloutsos,
@@ -38,6 +40,9 @@ type SlashBurn struct {
 	// subgraph) of every vertex still in the GCC. Figure 2 of the paper is
 	// produced from these snapshots.
 	OnIteration func(iter int, gccDegrees []uint32)
+	// PollEvery is the cooperative-cancellation granularity of
+	// ReorderContext, in inner-loop steps (0 = runctl.DefaultPollInterval).
+	PollEvery int
 
 	lastIterations int
 }
@@ -75,11 +80,20 @@ func (s *SlashBurn) Iterations() int { return s.lastIterations }
 
 // Reorder implements Algorithm.
 func (s *SlashBurn) Reorder(g *graph.Graph) graph.Permutation {
+	perm, _ := s.ReorderContext(context.Background(), g)
+	return perm
+}
+
+// ReorderContext implements ContextAlgorithm: the per-iteration degree
+// sweep polls ctx every PollEvery vertices, so cancellation returns within
+// one poll interval with the partially filled permutation.
+func (s *SlashBurn) ReorderContext(ctx context.Context, g *graph.Graph) (graph.Permutation, error) {
 	n := g.NumVertices()
 	perm := make(graph.Permutation, n)
 	if n == 0 {
-		return perm
+		return perm, nil
 	}
+	poll := runctl.NewPoller(ctx, s.PollEvery)
 	k := int(s.KFraction * float64(n))
 	if k < 1 {
 		k = 1
@@ -112,6 +126,19 @@ func (s *SlashBurn) Reorder(g *graph.Graph) graph.Permutation {
 		// Degrees within the remaining (in-play) subgraph.
 		maxDeg := uint32(0)
 		for v := uint32(0); v < n; v++ {
+			if err := poll.Check(); err != nil {
+				// Fill the unassigned middle of the ID space with the
+				// still-in-play vertices in original order so the partial
+				// result is a valid permutation.
+				for u := uint32(0); u < n; u++ {
+					if inPlay[u] {
+						perm[u] = front
+						front++
+					}
+				}
+				s.lastIterations = iter
+				return perm, err
+			}
 			deg[v] = 0
 			if !inPlay[v] {
 				continue
@@ -213,7 +240,7 @@ func (s *SlashBurn) Reorder(g *graph.Graph) graph.Permutation {
 		}
 	}
 	s.lastIterations = iter
-	return perm
+	return perm, nil
 }
 
 // finishRemaining assigns the remaining in-play vertices consecutive front

@@ -1,0 +1,371 @@
+// Package runctl is the run-control layer of the experiment pipeline:
+// cooperative cancellation, per-stage deadlines, panic isolation, capped
+// exponential retry of transient failures, and progress heartbeats.
+//
+// The experiment harness chains expensive stages — dataset generation,
+// reordering, relabeling, trace-based simulation — and without run control
+// a single panic, hang or Ctrl-C anywhere discards every computed
+// permutation. A Controller wraps each stage so that
+//
+//   - a panic inside a stage becomes a typed *StageError carrying the
+//     stage name and the recovered value instead of crashing the process,
+//   - a stage that exceeds its deadline is cancelled cooperatively (long
+//     loops poll a Poller every few thousand iterations),
+//   - transient failures are retried with capped exponential backoff,
+//   - a heartbeat event fires periodically while a stage runs, so a hung
+//     stage is detectable from the outside.
+//
+// The package depends only on the standard library so every layer of the
+// repo (reorder, core, spmv, expt, cmd) can use it without cycles.
+package runctl
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// ErrCanceled is returned (possibly wrapped) by cooperative loops that
+// observed context cancellation and stopped early. Partial results
+// accompanying it are valid as far as they go.
+var ErrCanceled = errors.New("runctl: canceled")
+
+// StageError is the typed failure of one pipeline stage. It preserves the
+// stage identity, the attempt count, and — when the stage panicked — the
+// recovered value and stack.
+type StageError struct {
+	// Stage is the name the stage was registered under ("reorder/TwtrS/GO").
+	Stage string
+	// Attempts is how many times the stage ran before giving up.
+	Attempts int
+	// Recovered is the value recovered from a panic, or nil for plain errors.
+	Recovered any
+	// Stack is the goroutine stack captured at panic time (nil otherwise).
+	Stack []byte
+	// Err is the underlying error (wrapped; nil when Recovered is set and
+	// the panic value was not an error).
+	Err error
+}
+
+// Error implements error.
+func (e *StageError) Error() string {
+	if e.Recovered != nil {
+		return fmt.Sprintf("stage %s: panic: %v", e.Stage, e.Recovered)
+	}
+	return fmt.Sprintf("stage %s: %v", e.Stage, e.Err)
+}
+
+// Unwrap exposes the underlying error for errors.Is/As.
+func (e *StageError) Unwrap() error { return e.Err }
+
+// Panicked reports whether the stage failed by panicking.
+func (e *StageError) Panicked() bool { return e.Recovered != nil }
+
+// transientError marks an error as retryable.
+type transientError struct{ err error }
+
+func (t *transientError) Error() string { return "transient: " + t.err.Error() }
+func (t *transientError) Unwrap() error { return t.err }
+
+// Transient wraps err so the Controller retries the stage (with backoff)
+// instead of failing it on the first attempt.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// IsTransient reports whether err is marked retryable.
+func IsTransient(err error) bool {
+	var t *transientError
+	return errors.As(err, &t)
+}
+
+// EventKind classifies controller events.
+type EventKind int
+
+const (
+	// EventStart fires when a stage attempt begins.
+	EventStart EventKind = iota
+	// EventHeartbeat fires periodically while a stage attempt runs.
+	EventHeartbeat
+	// EventRetry fires before a backoff sleep between attempts.
+	EventRetry
+	// EventDone fires when a stage finishes (Err carries the outcome).
+	EventDone
+)
+
+// Event is one lifecycle or progress notification.
+type Event struct {
+	Kind    EventKind
+	Stage   string
+	Attempt int
+	// Elapsed is the time since the current attempt started.
+	Elapsed time.Duration
+	// Backoff is the upcoming sleep (EventRetry only).
+	Backoff time.Duration
+	// Err is the attempt outcome (EventRetry, EventDone).
+	Err error
+}
+
+// Config tunes a Controller. The zero value is usable: no stage deadline,
+// three attempts, 50ms base backoff capped at 2s, heartbeats disabled.
+type Config struct {
+	// StageTimeout bounds each stage attempt (0 = no per-stage deadline).
+	StageTimeout time.Duration
+	// MaxAttempts is the attempt budget per stage (min 1; default 3).
+	MaxAttempts int
+	// BaseBackoff is the first retry sleep (default 50ms). Subsequent
+	// sleeps double, capped at MaxBackoff.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the retry sleep (default 2s).
+	MaxBackoff time.Duration
+	// Heartbeat is the progress-event period while a stage runs
+	// (0 disables heartbeats).
+	Heartbeat time.Duration
+	// OnEvent receives lifecycle and heartbeat events (may be nil). It is
+	// called from the controller's goroutines and must be fast.
+	OnEvent func(Event)
+	// Sleep replaces the inter-attempt sleep (tests inject a recorder to
+	// make the backoff schedule deterministic). The default honours ctx.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxAttempts < 1 {
+		c.MaxAttempts = 3
+	}
+	if c.BaseBackoff <= 0 {
+		c.BaseBackoff = 50 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 2 * time.Second
+	}
+	if c.Sleep == nil {
+		c.Sleep = sleepCtx
+	}
+	return c
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Backoff returns the capped exponential backoff schedule for the given
+// config: sleep before attempt 2, 3, ... (attempts-1 entries). Exposed so
+// tests can assert the schedule without running a controller.
+func Backoff(cfg Config, attempts int) []time.Duration {
+	cfg = cfg.withDefaults()
+	var out []time.Duration
+	d := cfg.BaseBackoff
+	for i := 1; i < attempts; i++ {
+		if d > cfg.MaxBackoff {
+			d = cfg.MaxBackoff
+		}
+		out = append(out, d)
+		d *= 2
+	}
+	return out
+}
+
+// Controller executes pipeline stages under one root context with panic
+// isolation, deadlines, retries and heartbeats. Safe for concurrent use.
+type Controller struct {
+	ctx context.Context
+	cfg Config
+
+	mu     sync.Mutex
+	active map[string]time.Time // stage -> attempt start
+}
+
+// New returns a Controller rooted at ctx. A nil ctx means Background.
+func New(ctx context.Context, cfg Config) *Controller {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &Controller{ctx: ctx, cfg: cfg.withDefaults(), active: make(map[string]time.Time)}
+}
+
+// Context returns the controller's root context.
+func (c *Controller) Context() context.Context { return c.ctx }
+
+// Err returns the root context's error (nil while the run is live).
+func (c *Controller) Err() error { return c.ctx.Err() }
+
+// Active returns the stages currently running and how long their current
+// attempt has been going — the outside view that makes hangs detectable.
+func (c *Controller) Active() map[string]time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]time.Duration, len(c.active))
+	for s, t0 := range c.active {
+		out[s] = time.Since(t0)
+	}
+	return out
+}
+
+func (c *Controller) emit(e Event) {
+	if c.cfg.OnEvent != nil {
+		c.cfg.OnEvent(e)
+	}
+}
+
+// Run executes fn as the named stage: panics become *StageError, the
+// per-stage deadline is applied to fn's context, transient errors are
+// retried with capped exponential backoff, and heartbeat events fire while
+// fn runs. The returned error is nil, a *StageError, or a context error
+// when the root context died.
+func (c *Controller) Run(stage string, fn func(ctx context.Context) error) error {
+	for attempt := 1; ; attempt++ {
+		if err := c.ctx.Err(); err != nil {
+			return err
+		}
+		err := c.attempt(stage, attempt, fn)
+		if err == nil {
+			c.emit(Event{Kind: EventDone, Stage: stage, Attempt: attempt})
+			return nil
+		}
+		// Root cancellation propagates as-is: the run is over, not the stage.
+		if c.ctx.Err() != nil {
+			c.emit(Event{Kind: EventDone, Stage: stage, Attempt: attempt, Err: c.ctx.Err()})
+			return c.ctx.Err()
+		}
+		retryable := IsTransient(err)
+		if se := new(StageError); errors.As(err, &se) {
+			retryable = false // panics are never retried
+		}
+		if retryable && attempt < c.cfg.MaxAttempts {
+			backoff := Backoff(c.cfg, attempt+1)[attempt-1]
+			c.emit(Event{Kind: EventRetry, Stage: stage, Attempt: attempt, Backoff: backoff, Err: err})
+			if serr := c.cfg.Sleep(c.ctx, backoff); serr != nil {
+				return serr
+			}
+			continue
+		}
+		var se *StageError
+		if !errors.As(err, &se) {
+			se = &StageError{Stage: stage, Err: err}
+		}
+		se.Attempts = attempt
+		c.emit(Event{Kind: EventDone, Stage: stage, Attempt: attempt, Err: se})
+		return se
+	}
+}
+
+// attempt runs fn once with deadline, panic isolation and heartbeats.
+func (c *Controller) attempt(stage string, attempt int, fn func(ctx context.Context) error) (err error) {
+	ctx := c.ctx
+	cancel := func() {}
+	if c.cfg.StageTimeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, c.cfg.StageTimeout)
+	}
+	defer cancel()
+
+	start := time.Now()
+	c.mu.Lock()
+	c.active[stage] = start
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.active, stage)
+		c.mu.Unlock()
+	}()
+	c.emit(Event{Kind: EventStart, Stage: stage, Attempt: attempt})
+
+	var hbStop chan struct{}
+	if c.cfg.Heartbeat > 0 && c.cfg.OnEvent != nil {
+		hbStop = make(chan struct{})
+		go func() {
+			t := time.NewTicker(c.cfg.Heartbeat)
+			defer t.Stop()
+			for {
+				select {
+				case <-hbStop:
+					return
+				case <-t.C:
+					c.emit(Event{Kind: EventHeartbeat, Stage: stage, Attempt: attempt,
+						Elapsed: time.Since(start)})
+				}
+			}
+		}()
+	}
+	defer func() {
+		if hbStop != nil {
+			close(hbStop)
+		}
+	}()
+
+	defer func() {
+		if r := recover(); r != nil {
+			se := &StageError{Stage: stage, Recovered: r, Stack: debug.Stack()}
+			if e, ok := r.(error); ok {
+				se.Err = e
+			}
+			err = se
+		}
+	}()
+	if err := fn(ctx); err != nil {
+		// A deadline overrun of this attempt surfaces as the stage's error;
+		// cooperative loops return ErrCanceled when the attempt ctx dies.
+		if ctx.Err() != nil && c.ctx.Err() == nil {
+			return fmt.Errorf("deadline %v exceeded: %w", c.cfg.StageTimeout, err)
+		}
+		return err
+	}
+	if ctx.Err() != nil && c.ctx.Err() == nil {
+		return fmt.Errorf("deadline %v exceeded: %w", c.cfg.StageTimeout, ErrCanceled)
+	}
+	return nil
+}
+
+// Poller is the cooperative-cancellation checkpoint used inside long
+// loops: Check increments a counter and inspects the context only every
+// Every iterations, so the fast path is one branch and one add.
+type Poller struct {
+	ctx   context.Context
+	every uint32
+	n     uint32
+}
+
+// DefaultPollInterval is the Poller granularity used by the repo's long
+// loops when the caller does not choose one: fine enough that cancellation
+// latency is dominated by one loop body, coarse enough to be free.
+const DefaultPollInterval = 4096
+
+// NewPoller returns a Poller over ctx that polls every `every` calls
+// (min 1). A nil ctx yields a Poller that never cancels.
+func NewPoller(ctx context.Context, every int) *Poller {
+	if every < 1 {
+		every = 1
+	}
+	return &Poller{ctx: ctx, every: uint32(every)}
+}
+
+// Check returns ErrCanceled (wrapping the context cause) once the context
+// is done, checking it only every Nth call.
+func (p *Poller) Check() error {
+	if p == nil || p.ctx == nil {
+		return nil
+	}
+	p.n++
+	if p.n%p.every != 0 {
+		return nil
+	}
+	select {
+	case <-p.ctx.Done():
+		return fmt.Errorf("%w: %w", ErrCanceled, p.ctx.Err())
+	default:
+		return nil
+	}
+}

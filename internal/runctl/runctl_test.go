@@ -1,0 +1,363 @@
+package runctl
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// recordedSleep replaces the inter-attempt sleep with a recorder so retry
+// tests are deterministic and instant.
+type recordedSleep struct {
+	mu    sync.Mutex
+	slept []time.Duration
+}
+
+func (r *recordedSleep) sleep(ctx context.Context, d time.Duration) error {
+	r.mu.Lock()
+	r.slept = append(r.slept, d)
+	r.mu.Unlock()
+	return ctx.Err()
+}
+
+func (r *recordedSleep) durations() []time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]time.Duration(nil), r.slept...)
+}
+
+func TestBackoffScheduleCappedAndDeterministic(t *testing.T) {
+	cfg := Config{BaseBackoff: 50 * time.Millisecond, MaxBackoff: 2 * time.Second}
+	want := []time.Duration{
+		50 * time.Millisecond, 100 * time.Millisecond, 200 * time.Millisecond,
+		400 * time.Millisecond, 800 * time.Millisecond, 1600 * time.Millisecond,
+		2 * time.Second, 2 * time.Second,
+	}
+	got := Backoff(cfg, len(want)+1)
+	if len(got) != len(want) {
+		t.Fatalf("schedule length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("sleep %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Deterministic: a second call yields the identical schedule.
+	again := Backoff(cfg, len(want)+1)
+	for i := range got {
+		if got[i] != again[i] {
+			t.Fatalf("schedule not deterministic at %d: %v vs %v", i, got[i], again[i])
+		}
+	}
+}
+
+func TestRunRetriesTransientWithBackoff(t *testing.T) {
+	rec := &recordedSleep{}
+	c := New(context.Background(), Config{MaxAttempts: 5, Sleep: rec.sleep})
+	calls := 0
+	err := c.Run("stage-x", func(ctx context.Context) error {
+		calls++
+		if calls < 3 {
+			return Transient(errors.New("flaky"))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("fn ran %d times, want 3", calls)
+	}
+	want := Backoff(c.cfg, 3)
+	got := rec.durations()
+	if len(got) != len(want) {
+		t.Fatalf("slept %d times (%v), want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("sleep %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRunTransientExhaustion(t *testing.T) {
+	rec := &recordedSleep{}
+	c := New(context.Background(), Config{MaxAttempts: 3, Sleep: rec.sleep})
+	calls := 0
+	err := c.Run("stage-x", func(ctx context.Context) error {
+		calls++
+		return Transient(errors.New("always flaky"))
+	})
+	var se *StageError
+	if !errors.As(err, &se) {
+		t.Fatalf("want *StageError, got %T: %v", err, err)
+	}
+	if se.Stage != "stage-x" || se.Attempts != 3 || calls != 3 {
+		t.Fatalf("stage=%q attempts=%d calls=%d, want stage-x/3/3", se.Stage, se.Attempts, calls)
+	}
+	if !IsTransient(se.Err) {
+		t.Error("underlying transient marker lost")
+	}
+	if n := len(rec.durations()); n != 2 {
+		t.Errorf("slept %d times, want 2", n)
+	}
+}
+
+func TestRunNonTransientNotRetried(t *testing.T) {
+	c := New(context.Background(), Config{MaxAttempts: 5})
+	calls := 0
+	boom := errors.New("hard failure")
+	err := c.Run("stage-x", func(ctx context.Context) error {
+		calls++
+		return boom
+	})
+	var se *StageError
+	if !errors.As(err, &se) {
+		t.Fatalf("want *StageError, got %T", err)
+	}
+	if calls != 1 || se.Attempts != 1 {
+		t.Fatalf("calls=%d attempts=%d, want 1/1", calls, se.Attempts)
+	}
+	if !errors.Is(err, boom) {
+		t.Error("cause not preserved through Unwrap")
+	}
+}
+
+func TestRunPanicPreservesStageIdentity(t *testing.T) {
+	c := New(context.Background(), Config{MaxAttempts: 5})
+	calls := 0
+	err := c.Run("reorder/TwtrT/GO", func(ctx context.Context) error {
+		calls++
+		panic("kaboom")
+	})
+	var se *StageError
+	if !errors.As(err, &se) {
+		t.Fatalf("want *StageError, got %T: %v", err, err)
+	}
+	if se.Stage != "reorder/TwtrT/GO" {
+		t.Errorf("stage = %q", se.Stage)
+	}
+	if !se.Panicked() || se.Recovered != "kaboom" {
+		t.Errorf("recovered = %v", se.Recovered)
+	}
+	if len(se.Stack) == 0 {
+		t.Error("panic stack not captured")
+	}
+	if calls != 1 {
+		t.Errorf("panicking stage ran %d times, want 1 (never retried)", calls)
+	}
+	if want := "stage reorder/TwtrT/GO: panic: kaboom"; se.Error() != want {
+		t.Errorf("Error() = %q, want %q", se.Error(), want)
+	}
+}
+
+func TestRunRootCancellationPropagates(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := New(ctx, Config{})
+	err := c.Run("stage-x", func(ctx context.Context) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	var se *StageError
+	if errors.As(err, &se) {
+		t.Error("root cancellation must not masquerade as a stage failure")
+	}
+}
+
+func TestRunStageDeadline(t *testing.T) {
+	c := New(context.Background(), Config{StageTimeout: 10 * time.Millisecond, MaxAttempts: 1})
+	err := c.Run("slow", func(ctx context.Context) error {
+		poll := NewPoller(ctx, 1)
+		for {
+			if err := poll.Check(); err != nil {
+				return err
+			}
+			time.Sleep(time.Millisecond)
+		}
+	})
+	var se *StageError
+	if !errors.As(err, &se) {
+		t.Fatalf("want *StageError, got %T: %v", err, err)
+	}
+	if !errors.Is(err, ErrCanceled) {
+		t.Errorf("cooperative cancellation error lost: %v", err)
+	}
+	if se.Stage != "slow" {
+		t.Errorf("stage = %q", se.Stage)
+	}
+}
+
+func TestPollerCancelsWithinOneInterval(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	const every = 8
+	p := NewPoller(ctx, every)
+	for i := 0; i < 3*every; i++ {
+		if err := p.Check(); err != nil {
+			t.Fatalf("premature cancel at call %d: %v", i, err)
+		}
+	}
+	cancel()
+	for i := 1; i <= every; i++ {
+		if err := p.Check(); err != nil {
+			if !errors.Is(err, ErrCanceled) {
+				t.Fatalf("want ErrCanceled, got %v", err)
+			}
+			return
+		}
+	}
+	t.Fatalf("poller did not observe cancellation within %d calls", every)
+}
+
+func TestPollerNilContextNeverCancels(t *testing.T) {
+	p := NewPoller(nil, 1)
+	for i := 0; i < 100; i++ {
+		if err := p.Check(); err != nil {
+			t.Fatalf("nil-ctx poller canceled: %v", err)
+		}
+	}
+}
+
+func TestHeartbeatEvents(t *testing.T) {
+	var mu sync.Mutex
+	var beats []Event
+	c := New(context.Background(), Config{
+		Heartbeat: time.Millisecond,
+		OnEvent: func(e Event) {
+			if e.Kind == EventHeartbeat {
+				mu.Lock()
+				beats = append(beats, e)
+				mu.Unlock()
+			}
+		},
+	})
+	if err := c.Run("slow", func(ctx context.Context) error {
+		time.Sleep(30 * time.Millisecond)
+		return nil
+	}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(beats) == 0 {
+		t.Fatal("no heartbeat events for a 30ms stage with a 1ms period")
+	}
+	for _, b := range beats {
+		if b.Stage != "slow" {
+			t.Errorf("heartbeat names stage %q", b.Stage)
+		}
+	}
+}
+
+func TestActiveReportsRunningStage(t *testing.T) {
+	c := New(context.Background(), Config{})
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan error)
+	go func() {
+		done <- c.Run("long", func(ctx context.Context) error {
+			close(started)
+			<-release
+			return nil
+		})
+	}()
+	<-started
+	if _, ok := c.Active()["long"]; !ok {
+		t.Error("running stage missing from Active()")
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(c.Active()) != 0 {
+		t.Error("finished stage still listed as active")
+	}
+}
+
+func TestFailpointModes(t *testing.T) {
+	t.Run("error", func(t *testing.T) {
+		remove := Inject("fp/error", Failpoint{Mode: FailError})
+		defer remove()
+		c := New(context.Background(), Config{MaxAttempts: 3})
+		err := c.Run("fp/error", func(ctx context.Context) error {
+			return Fire(ctx, "fp/error")
+		})
+		var se *StageError
+		if !errors.As(err, &se) || se.Attempts != 1 {
+			t.Fatalf("want 1-attempt StageError, got %v", err)
+		}
+		if HitCount("fp/error") != 1 {
+			t.Errorf("hits = %d", HitCount("fp/error"))
+		}
+	})
+	t.Run("transient heals", func(t *testing.T) {
+		remove := Inject("fp/flaky", Failpoint{Mode: FailTransient, Times: 2})
+		defer remove()
+		rec := &recordedSleep{}
+		c := New(context.Background(), Config{MaxAttempts: 5, Sleep: rec.sleep})
+		err := c.Run("fp/flaky", func(ctx context.Context) error {
+			return Fire(ctx, "fp/flaky")
+		})
+		if err != nil {
+			t.Fatalf("healed transient fault still failed: %v", err)
+		}
+		if hits := HitCount("fp/flaky"); hits != 3 {
+			t.Errorf("hits = %d, want 3 (two faults + one success)", hits)
+		}
+		if n := len(rec.durations()); n != 2 {
+			t.Errorf("slept %d times, want 2", n)
+		}
+	})
+	t.Run("panic", func(t *testing.T) {
+		remove := Inject("fp/panic", Failpoint{Mode: FailPanic, Panic: "injected"})
+		defer remove()
+		c := New(context.Background(), Config{})
+		err := c.Run("fp/panic", func(ctx context.Context) error {
+			return Fire(ctx, "fp/panic")
+		})
+		var se *StageError
+		if !errors.As(err, &se) || !se.Panicked() || se.Recovered != "injected" {
+			t.Fatalf("want injected panic StageError, got %v", err)
+		}
+	})
+	t.Run("hang until cancel", func(t *testing.T) {
+		remove := Inject("fp/hang", Failpoint{Mode: FailHang})
+		defer remove()
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			time.Sleep(5 * time.Millisecond)
+			cancel()
+		}()
+		start := time.Now()
+		err := Fire(ctx, "fp/hang")
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("want ErrCanceled, got %v", err)
+		}
+		if time.Since(start) > time.Second {
+			t.Error("hang outlived its context by far")
+		}
+	})
+	t.Run("removed", func(t *testing.T) {
+		remove := Inject("fp/gone", Failpoint{Mode: FailError})
+		remove()
+		if err := Fire(context.Background(), "fp/gone"); err != nil {
+			t.Fatalf("removed failpoint still fires: %v", err)
+		}
+	})
+}
+
+func TestTransientNilAndExample(t *testing.T) {
+	if Transient(nil) != nil {
+		t.Error("Transient(nil) must be nil")
+	}
+	err := Transient(fmt.Errorf("io glitch"))
+	if !IsTransient(err) {
+		t.Error("marker lost")
+	}
+	if IsTransient(errors.New("plain")) {
+		t.Error("plain error marked transient")
+	}
+}

@@ -1,0 +1,66 @@
+package spmv
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"graphlocality/internal/gen"
+	"graphlocality/internal/runctl"
+)
+
+// TestPullContextCancellation checks all three traversal directions stop
+// claiming work once the context dies, reporting Canceled stats and
+// runctl.ErrCanceled.
+func TestContextCancellation(t *testing.T) {
+	// With 2 workers one of them must process >= 2^14/2 = 8192 vertices,
+	// past the DefaultPollInterval, so the dead context is always observed.
+	g := gen.RMAT(gen.DefaultRMAT(14, 8, 3))
+	n := g.NumVertices()
+	e := New(g, 2)
+	src := make([]float64, n)
+	dst := make([]float64, n)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	runs := map[string]func() (Stats, error){
+		"pull":     func() (Stats, error) { return e.PullContext(ctx, src, dst) },
+		"push":     func() (Stats, error) { return e.PushContext(ctx, src, dst) },
+		"pushread": func() (Stats, error) { return e.PushReadContext(ctx, src, dst) },
+	}
+	for name, run := range runs {
+		t.Run(name, func(t *testing.T) {
+			st, err := run()
+			if !errors.Is(err, runctl.ErrCanceled) {
+				t.Fatalf("want ErrCanceled, got %v", err)
+			}
+			if !st.Canceled {
+				t.Error("stats not marked Canceled")
+			}
+		})
+	}
+}
+
+// TestContextCompletesUncancelled checks the ctx paths match the plain
+// paths when nothing cancels.
+func TestContextCompletesUncancelled(t *testing.T) {
+	g := gen.RMAT(gen.DefaultRMAT(10, 8, 3))
+	n := g.NumVertices()
+	e := New(g, 2)
+	src := make([]float64, n)
+	for i := range src {
+		src[i] = float64(i % 7)
+	}
+	want := make([]float64, n)
+	e.Pull(src, want)
+	got := make([]float64, n)
+	st, err := e.PullContext(context.Background(), src, got)
+	if err != nil || st.Canceled {
+		t.Fatalf("uncancelled run failed: %v (canceled=%v)", err, st.Canceled)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dst[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}

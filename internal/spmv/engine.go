@@ -7,6 +7,7 @@
 package spmv
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"sync"
@@ -15,6 +16,7 @@ import (
 	"unsafe"
 
 	"graphlocality/internal/graph"
+	"graphlocality/internal/runctl"
 )
 
 // Stats describes one parallel traversal.
@@ -26,6 +28,9 @@ type Stats struct {
 	Steals int64
 	// Threads is the worker count used.
 	Threads int
+	// Canceled reports that the traversal stopped early because its
+	// context died; dst holds a partially updated result.
+	Canceled bool
 }
 
 // Engine runs SpMV iterations over a fixed graph with a reusable
@@ -62,17 +67,29 @@ func (e *Engine) Threads() int { return e.threads }
 // Pull performs dst[v] = Σ src[u] over v's in-neighbours u (Algorithm 1,
 // pull direction over the CSC). dst and src must have |V| elements.
 func (e *Engine) Pull(src, dst []float64) Stats {
+	st, _ := e.PullContext(context.Background(), src, dst)
+	return st
+}
+
+// PullContext is Pull with cooperative cancellation: every worker polls
+// ctx each runctl.DefaultPollInterval vertices and stops claiming chunks
+// once it dies, returning runctl.ErrCanceled (wrapped) with partial dst.
+func (e *Engine) PullContext(ctx context.Context, src, dst []float64) (Stats, error) {
 	g := e.g
-	return e.run(e.pullChunks, func(r graph.Range) {
+	return e.run(ctx, e.pullChunks, func(r graph.Range, poll *runctl.Poller) error {
 		adj := g.InEdges()
 		off := g.InOffsets()
 		for v := r.Lo; v < r.Hi; v++ {
+			if err := poll.Check(); err != nil {
+				return err
+			}
 			sum := 0.0
 			for _, u := range adj[off[v]:off[v+1]] {
 				sum += src[u]
 			}
 			dst[v] = sum
 		}
+		return nil
 	})
 }
 
@@ -80,17 +97,27 @@ func (e *Engine) Pull(src, dst []float64) Stats {
 // "CSR read traversal" of Table VI, isolating format effects from
 // read-vs-write effects.
 func (e *Engine) PushRead(src, dst []float64) Stats {
+	st, _ := e.PushReadContext(context.Background(), src, dst)
+	return st
+}
+
+// PushReadContext is PushRead with cooperative cancellation.
+func (e *Engine) PushReadContext(ctx context.Context, src, dst []float64) (Stats, error) {
 	g := e.g
-	return e.run(e.pushChunks, func(r graph.Range) {
+	return e.run(ctx, e.pushChunks, func(r graph.Range, poll *runctl.Poller) error {
 		adj := g.OutEdges()
 		off := g.OutOffsets()
 		for v := r.Lo; v < r.Hi; v++ {
+			if err := poll.Check(); err != nil {
+				return err
+			}
 			sum := 0.0
 			for _, u := range adj[off[v]:off[v+1]] {
 				sum += src[u]
 			}
 			dst[v] = sum
 		}
+		return nil
 	})
 }
 
@@ -99,23 +126,35 @@ func (e *Engine) PushRead(src, dst []float64) Stats {
 // (§II-F: "push direction has an additional cost for protecting the data
 // of vertices"). dst must be zeroed by the caller.
 func (e *Engine) Push(src, dst []float64) Stats {
+	st, _ := e.PushContext(context.Background(), src, dst)
+	return st
+}
+
+// PushContext is Push with cooperative cancellation.
+func (e *Engine) PushContext(ctx context.Context, src, dst []float64) (Stats, error) {
 	g := e.g
-	return e.run(e.pushChunks, func(r graph.Range) {
+	return e.run(ctx, e.pushChunks, func(r graph.Range, poll *runctl.Poller) error {
 		adj := g.OutEdges()
 		off := g.OutOffsets()
 		for v := r.Lo; v < r.Hi; v++ {
+			if err := poll.Check(); err != nil {
+				return err
+			}
 			x := src[v]
 			for _, u := range adj[off[v]:off[v+1]] {
 				atomicAddFloat64(&dst[u], x)
 			}
 		}
+		return nil
 	})
 }
 
 // run executes fn over every chunk with work stealing and measures idle
 // time. Worker w owns chunks w*ChunksPerThread..; when its own list is
-// exhausted it steals from the other workers' lists round-robin.
-func (e *Engine) run(chunks []graph.Range, fn func(graph.Range)) Stats {
+// exhausted it steals from the other workers' lists round-robin. When fn
+// reports cancellation the worker stops claiming chunks; the first error
+// is returned alongside the (partial) stats.
+func (e *Engine) run(ctx context.Context, chunks []graph.Range, fn func(graph.Range, *runctl.Poller) error) (Stats, error) {
 	nw := e.threads
 	// Per-owner cursors into the chunk list.
 	type queue struct {
@@ -138,6 +177,7 @@ func (e *Engine) run(chunks []graph.Range, fn func(graph.Range)) Stats {
 	}
 	var steals int64
 	busy := make([]time.Duration, nw)
+	errs := make([]error, nw)
 
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -145,9 +185,10 @@ func (e *Engine) run(chunks []graph.Range, fn func(graph.Range)) Stats {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			poll := runctl.NewPoller(ctx, runctl.DefaultPollInterval)
 			var my time.Duration
 			// Own queue first, then steal from victims.
-			for vi := 0; vi < nw; vi++ {
+			for vi := 0; vi < nw && errs[w] == nil; vi++ {
 				victim := (w + vi) % nw
 				for {
 					i := atomic.AddInt64(&queues[victim].next, 1) - 1
@@ -158,8 +199,12 @@ func (e *Engine) run(chunks []graph.Range, fn func(graph.Range)) Stats {
 						atomic.AddInt64(&steals, 1)
 					}
 					t0 := time.Now()
-					fn(chunks[i])
+					err := fn(chunks[i], poll)
 					my += time.Since(t0)
+					if err != nil {
+						errs[w] = err
+						break
+					}
 				}
 			}
 			busy[w] = my
@@ -168,6 +213,13 @@ func (e *Engine) run(chunks []graph.Range, fn func(graph.Range)) Stats {
 	wg.Wait()
 	wall := time.Since(start)
 
+	var firstErr error
+	for _, err := range errs {
+		if err != nil {
+			firstErr = err
+			break
+		}
+	}
 	var idleSum float64
 	for _, b := range busy {
 		frac := 1 - float64(b)/float64(wall)
@@ -177,11 +229,12 @@ func (e *Engine) run(chunks []graph.Range, fn func(graph.Range)) Stats {
 		idleSum += frac
 	}
 	return Stats{
-		Elapsed: wall,
-		IdlePct: 100 * idleSum / float64(nw),
-		Steals:  steals,
-		Threads: nw,
-	}
+		Elapsed:  wall,
+		IdlePct:  100 * idleSum / float64(nw),
+		Steals:   steals,
+		Threads:  nw,
+		Canceled: firstErr != nil,
+	}, firstErr
 }
 
 // atomicAddFloat64 adds x to *p with a CAS loop — the concurrency

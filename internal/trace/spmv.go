@@ -35,17 +35,29 @@ func (d Direction) String() string {
 // Sink receives simulated accesses in program order.
 type Sink func(Access)
 
+// BoundedSink receives accesses and reports whether the traversal should
+// continue; returning false stops the stream (cooperative cancellation).
+type BoundedSink func(Access) bool
+
 // Run generates the full single-threaded access stream of one SpMV
 // iteration over g in the given direction, invoking sink for every load
 // and store. Vertices are visited in ID order within [0, |V|).
 func Run(g *graph.Graph, l Layout, dir Direction, sink Sink) {
+	RunUntil(g, l, dir, func(a Access) bool { sink(a); return true })
+}
+
+// RunUntil is Run with early exit: the stream stops as soon as sink
+// returns false. It reports whether the traversal ran to completion.
+func RunUntil(g *graph.Graph, l Layout, dir Direction, sink BoundedSink) bool {
 	gen := newVertexIter(g, l, dir, graph.Range{Lo: 0, Hi: g.NumVertices()})
 	for {
 		a, ok := gen.next()
 		if !ok {
-			return
+			return true
 		}
-		sink(a)
+		if !sink(a) {
+			return false
+		}
 	}
 }
 
@@ -56,6 +68,13 @@ func Run(g *graph.Graph, l Layout, dir Direction, sink Sink) {
 // threads round-robin. sink observes the interleaved stream, which is what
 // a shared last-level cache would see.
 func RunParallel(g *graph.Graph, l Layout, dir Direction, threads, interval int, sink Sink) {
+	RunParallelUntil(g, l, dir, threads, interval, func(a Access) bool { sink(a); return true })
+}
+
+// RunParallelUntil is RunParallel with early exit: the interleaved stream
+// stops as soon as sink returns false. It reports whether the traversal
+// ran to completion.
+func RunParallelUntil(g *graph.Graph, l Layout, dir Direction, threads, interval int, sink BoundedSink) bool {
 	if threads < 1 {
 		threads = 1
 	}
@@ -84,13 +103,16 @@ func RunParallel(g *graph.Graph, l Layout, dir Direction, threads, interval int,
 				if !ok {
 					break
 				}
-				sink(a)
+				if !sink(a) {
+					return false
+				}
 			}
 			if !it.done {
 				live++
 			}
 		}
 	}
+	return true
 }
 
 // vertexIter lazily generates the access stream of one partition. This is
