@@ -1,9 +1,14 @@
 # Tier-1 verification lives in verify.sh; `make verify` is the one command
 # to run before committing.
-.PHONY: verify build test race vet
+.PHONY: verify build test race vet bench
 
 verify:
 	./verify.sh
+
+# Times a representative experiment grid at -parallel 1 vs the machine's
+# core count and writes the comparison to BENCH_parallel.json.
+bench:
+	go run ./cmd/localitylab bench -size standard -out BENCH_parallel.json
 
 build:
 	go build ./...

@@ -51,7 +51,7 @@ func BenchmarkAblationGOrderWindow(b *testing.B) {
 		b.Run(fmt.Sprintf("w%d", w), func(b *testing.B) {
 			var miss float64
 			for i := 0; i < b.N; i++ {
-				perm := (&reorder.GOrder{Window: w}).Reorder(g)
+				perm := reorder.Perm(reorder.MustNew("go", reorder.WithWindow(w)), g)
 				h := g.Relabel(perm)
 				res := core.SimulateSpMV(h, core.SimOptions{Cache: cache, Threads: 4})
 				miss = 100 * res.Cache.MissRate()
@@ -81,7 +81,7 @@ func BenchmarkAblationCacheAwareRAs(b *testing.B) {
 			b.Run(d.Name+"/"+alg.Name(), func(b *testing.B) {
 				var miss float64
 				for i := 0; i < b.N; i++ {
-					h := g.Relabel(alg.Reorder(g))
+					h := g.Relabel(reorder.Perm(alg, g))
 					res := core.SimulateSpMV(h, core.SimOptions{Cache: cache, Threads: 4})
 					miss = 100 * res.Cache.MissRate()
 				}

@@ -193,12 +193,13 @@ func BenchmarkReorderAlgorithms(b *testing.B) {
 	s, ds := session()
 	g := s.Graph(ds[0])
 	for _, alg := range []reorder.Algorithm{
-		reorder.DegreeSort{}, reorder.HubSort{}, reorder.DBG{},
+		reorder.Wrap(reorder.DegreeSort{}), reorder.Wrap(reorder.HubSort{}),
+		reorder.Wrap(reorder.DBG{}),
 		reorder.NewSlashBurnPP(), reorder.NewRabbitOrder(),
 	} {
 		b.Run(alg.Name(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				alg.Reorder(g)
+				reorder.Perm(alg, g)
 			}
 		})
 	}

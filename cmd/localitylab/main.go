@@ -16,12 +16,14 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -76,6 +78,8 @@ func main() {
 		err = cmdIHTL(os.Args[2:])
 	case "experiment":
 		err = cmdExperiment(os.Args[2:])
+	case "bench":
+		err = cmdBench(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -141,7 +145,9 @@ Commands:
   replay      replay a recorded trace against a cache configuration
   ihtl        build iHTL flipped blocks and compare misses vs plain pull
   experiment  regenerate a paper table or figure (table1..table7,
-              fig1..fig6, edr, gap, ihtl, hybrid, hilbert, utilization, all)`)
+              fig1..fig6, edr, gap, ihtl, hybrid, hilbert, utilization, all)
+  bench       time a representative experiment grid serial vs parallel and
+              write BENCH_parallel.json`)
 }
 
 func loadGraph(path string) (*graph.Graph, error) {
@@ -249,8 +255,10 @@ func cmdGen(args []string) error {
 func cmdReorder(args []string) error {
 	fs := flag.NewFlagSet("reorder", flag.ExitOnError)
 	in := fs.String("graph", "", "input graph (binary)")
-	algName := fs.String("alg", "ro", "algorithm: identity, random, degsort, hubsort, hubcluster, dbg, rcm, bfs, sb, sb++, go, ro, hybrid")
+	algName := fs.String("alg", "ro", "algorithm: "+strings.Join(reorder.List(), ", "))
 	seed := fs.Uint64("seed", 1, "seed for randomized algorithms")
+	window := fs.Int("window", 5, "GOrder/hybrid sliding-window size")
+	cacheBytes := fs.Uint64("cachebytes", 0, "cache capacity for cache-aware variants (sb, ro)")
 	out := fs.String("out", "", "output relabeled graph; empty skips writing")
 	fs.Parse(args)
 	if *in == "" {
@@ -260,7 +268,21 @@ func cmdReorder(args []string) error {
 	if err != nil {
 		return err
 	}
-	alg, err := reorder.Registry(*algName, *seed)
+	// Only options the user set explicitly are passed on, so the registry
+	// can reject combinations the algorithm does not accept (e.g. -seed
+	// with a deterministic ordering).
+	var opts []reorder.Option
+	fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "seed":
+			opts = append(opts, reorder.WithSeed(*seed))
+		case "window":
+			opts = append(opts, reorder.WithWindow(*window))
+		case "cachebytes":
+			opts = append(opts, reorder.WithCacheBytes(*cacheBytes))
+		}
+	})
+	alg, err := reorder.New(*algName, opts...)
 	if err != nil {
 		return err
 	}
@@ -470,6 +492,8 @@ func cmdExperiment(args []string) error {
 	stageTimeout := fs.Duration("stage-timeout", 0, "per-stage deadline; an overrunning RA degrades to Initial (0 = none)")
 	totalTimeout := fs.Duration("timeout", 0, "whole-run deadline (0 = none)")
 	heartbeat := fs.Duration("heartbeat", 0, "emit stage progress heartbeats to stderr at this interval (0 = off)")
+	parallel := fs.Int("parallel", runtime.NumCPU(),
+		"grid cells to run concurrently (1 = serial, byte-identical to the pre-scheduler output)")
 	// The experiment id is the first non-flag argument.
 	var id string
 	if len(args) > 0 && args[0][0] != '-' {
@@ -519,6 +543,7 @@ func cmdExperiment(args []string) error {
 	s.Ctrl = runctl.New(ctx, cfg)
 	s.CacheDir = *cacheDir
 	s.Resume = *resume
+	s.Parallel = *parallel
 	ds := expt.Suite(size)
 	if *graphsFlag != "" {
 		ds = nil
@@ -689,6 +714,94 @@ func cmdExperiment(args []string) error {
 		return err
 	}
 	return finish()
+}
+
+// cmdBench times a representative experiment grid twice — serial
+// (-parallel 1) and parallel — and writes the comparison as JSON. Each run
+// uses a fresh Session so the parallel pass cannot reuse memoized results
+// from the serial pass.
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	sizeName := fs.String("size", "standard", "dataset scale: tiny or standard")
+	out := fs.String("out", "BENCH_parallel.json", "output JSON path")
+	defPar := runtime.NumCPU()
+	if defPar < 2 {
+		// A single-core machine cannot show a wall-clock win; still run the
+		// comparison so the report captures the scheduler's overhead there.
+		defPar = 2
+	}
+	par := fs.Int("parallel", defPar, "worker count for the parallel pass")
+	fs.Parse(args)
+	size := expt.Standard
+	if *sizeName == "tiny" {
+		size = expt.Tiny
+	}
+	if *par < 2 {
+		return usagef("-parallel must be at least 2 to compare against the serial pass")
+	}
+
+	// The grid covers the scheduler's main shapes: Table II (reorder
+	// stages), Table III (full simulations plus sharded miss-rate series),
+	// Table V (snapshotted simulations), and Fig. 1 (sharded
+	// miss-rate-by-degree analytics).
+	runGrid := func(parallel int) (time.Duration, error) {
+		s := expt.NewSession()
+		s.Ctrl = runctl.New(context.Background(), runctl.Config{})
+		s.Parallel = parallel
+		ds := expt.Suite(size)
+		algs := expt.StandardAlgorithms()
+		start := time.Now()
+		expt.TableII(s, ds, algs)
+		expt.TableIII(s, ds, algs)
+		expt.TableV(s, ds, algs)
+		expt.Fig1(s, ds[0], algs)
+		elapsed := time.Since(start)
+		if len(s.DegradedStages()) != 0 {
+			return elapsed, fmt.Errorf("bench run degraded stages: %v", s.DegradedStages())
+		}
+		return elapsed, nil
+	}
+
+	fmt.Fprintf(os.Stderr, "localitylab: bench serial pass (-parallel 1, size %s)...\n", *sizeName)
+	serial, err := runGrid(1)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "localitylab: serial %v; parallel pass (-parallel %d)...\n",
+		serial.Round(time.Millisecond), *par)
+	parallel, err := runGrid(*par)
+	if err != nil {
+		return err
+	}
+
+	report := struct {
+		Size            string  `json:"size"`
+		Grid            string  `json:"grid"`
+		GOMAXPROCS      int     `json:"gomaxprocs"`
+		ParallelWorkers int     `json:"parallel_workers"`
+		SerialSeconds   float64 `json:"serial_seconds"`
+		ParallelSeconds float64 `json:"parallel_seconds"`
+		Speedup         float64 `json:"speedup"`
+	}{
+		Size:            *sizeName,
+		Grid:            "table2+table3+table5+fig1",
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		ParallelWorkers: *par,
+		SerialSeconds:   serial.Seconds(),
+		ParallelSeconds: parallel.Seconds(),
+		Speedup:         serial.Seconds() / parallel.Seconds(),
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("serial %.2fs, parallel %.2fs (%d workers): %.2fx speedup -> %s\n",
+		report.SerialSeconds, report.ParallelSeconds, *par, report.Speedup, *out)
+	return nil
 }
 
 // contrastOnly returns one social and one web dataset.

@@ -66,7 +66,7 @@ func main() {
 		return c.Stats().Misses
 	}
 	plain := count(func(s trace.Sink) { trace.Run(g, trace.NewLayout(g), trace.Pull, s) })
-	ro := g.Relabel(reorder.NewRabbitOrder().Reorder(g))
+	ro := g.Relabel(reorder.Perm(reorder.MustNew("ro"), g))
 	roMiss := count(func(s trace.Sink) { trace.Run(ro, trace.NewLayout(ro), trace.Pull, s) })
 	blocked := ihtl.Build(g, ihtl.Config{CacheBytes: uint64(cfg.SizeBytes() / 2)})
 	ihtlMiss := count(func(s trace.Sink) { ihtl.Trace(blocked, ihtl.NewLayout(blocked), s) })

@@ -29,7 +29,7 @@ func main() {
 		if _, ok := alg.(reorder.Identity); ok {
 			h = g
 		} else {
-			h = g.Relabel(alg.Reorder(g))
+			h = g.Relabel(reorder.Perm(alg, g))
 		}
 		study(alg.Name(), h)
 	}

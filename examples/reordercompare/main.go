@@ -18,16 +18,16 @@ import (
 func main() {
 	g := gen.WebGraph(gen.DefaultWebGraph(1<<15, 10, 21))
 	// Scramble first so every algorithm starts from a locality-free order.
-	g = g.Relabel(reorder.Random{Seed: 99}.Reorder(g))
+	g = g.Relabel(reorder.Random{Seed: 99}.Relabel(g))
 	fmt.Println("dataset (scrambled web graph):", g)
 
 	algs := []reorder.Algorithm{
 		reorder.Identity{},
-		reorder.DegreeSort{},
-		reorder.HubSort{},
-		reorder.HubCluster{},
-		reorder.DBG{},
-		reorder.RCM{},
+		reorder.Wrap(reorder.DegreeSort{}),
+		reorder.Wrap(reorder.HubSort{}),
+		reorder.Wrap(reorder.HubCluster{}),
+		reorder.Wrap(reorder.DBG{}),
+		reorder.Wrap(reorder.RCM{}),
 		reorder.NewSlashBurn(),
 		reorder.NewSlashBurnPP(),
 		reorder.NewGOrder(),

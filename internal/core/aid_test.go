@@ -50,8 +50,8 @@ func TestAIDOut(t *testing.T) {
 func TestAIDByDegreeRabbitOrderReducesLDV(t *testing.T) {
 	// The paper's Fig. 3: Rabbit-Order reduces AID of low-degree vertices.
 	base := gen.WebGraph(gen.DefaultWebGraph(4096, 6, 2))
-	g := base.Relabel(reorder.Random{Seed: 8}.Reorder(base))
-	ro := g.Relabel(reorder.NewRabbitOrder().Reorder(g))
+	g := base.Relabel(reorder.Random{Seed: 8}.Relabel(base))
+	ro := g.Relabel(reorder.Perm(reorder.NewRabbitOrder(), g))
 
 	before := AIDByDegree(g)
 	after := AIDByDegree(ro)

@@ -58,8 +58,8 @@ func TestMRCBetterOrderingSmallerWorkingSet(t *testing.T) {
 	// A clustered ordering reaches a given miss ratio with a smaller
 	// cache than a scrambled one.
 	base := gen.WebGraph(gen.DefaultWebGraph(4096, 8, 4))
-	scrambled := base.Relabel(reorder.Random{Seed: 5}.Reorder(base))
-	ro := scrambled.Relabel(reorder.NewRabbitOrder().Reorder(scrambled))
+	scrambled := base.Relabel(reorder.Random{Seed: 5}.Relabel(base))
+	ro := scrambled.Relabel(reorder.Perm(reorder.NewRabbitOrder(), scrambled))
 
 	wsScrambled := ReuseDistances(scrambled, trace.Pull, 64).MRC().WorkingSetLines(0.3)
 	wsRO := ReuseDistances(ro, trace.Pull, 64).MRC().WorkingSetLines(0.3)
@@ -88,8 +88,8 @@ func TestCompressedAdjacencyBytes(t *testing.T) {
 
 func TestCompressionRatioImprovesWithClustering(t *testing.T) {
 	base := gen.WebGraph(gen.DefaultWebGraph(4096, 8, 9))
-	scrambled := base.Relabel(reorder.Random{Seed: 2}.Reorder(base))
-	ro := scrambled.Relabel(reorder.NewRabbitOrder().Reorder(scrambled))
+	scrambled := base.Relabel(reorder.Random{Seed: 2}.Relabel(base))
+	ro := scrambled.Relabel(reorder.Perm(reorder.NewRabbitOrder(), scrambled))
 	if CompressionRatio(ro) <= CompressionRatio(scrambled) {
 		t.Errorf("RO compression %.3f not above scrambled %.3f",
 			CompressionRatio(ro), CompressionRatio(scrambled))

@@ -48,8 +48,8 @@ func TestSegmentedPreservesRelativeOrdering(t *testing.T) {
 	// The paper's key validation: the *relative* comparison between two
 	// reorderings survives the approximation (1.4% relative error there).
 	g := gen.WebGraph(gen.DefaultWebGraph(1<<13, 8, 7))
-	ro := g.Relabel(reorder.NewRabbitOrder().Reorder(g))
-	sb := g.Relabel(reorder.NewSlashBurn().Reorder(g))
+	ro := g.Relabel(reorder.Perm(reorder.NewRabbitOrder(), g))
+	sb := g.Relabel(reorder.Perm(reorder.NewSlashBurn(), g))
 	cfg := smallCache()
 
 	exactRO := SimulateSpMV(ro, SimOptions{Cache: cfg, Threads: 4}).Cache.Misses

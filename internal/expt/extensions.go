@@ -28,9 +28,10 @@ type IHTLRow struct {
 }
 
 // IHTLExperiment measures §VIII-A: flipped blocks against reordering.
+// Each dataset is one scheduler cell.
 func IHTLExperiment(s *Session, datasets []Dataset) []IHTLRow {
-	var rows []IHTLRow
-	for _, ds := range datasets {
+	return mapIndexed(s.parallelism(), len(datasets), func(i int) IHTLRow {
+		ds := datasets[i]
 		g := s.Graph(ds)
 		cfg := s.CacheFor(ds)
 		blocked := ihtl.Build(g, ihtl.Config{CacheBytes: uint64(cfg.SizeBytes() / 2)})
@@ -40,16 +41,15 @@ func IHTLExperiment(s *Session, datasets []Dataset) []IHTLRow {
 			return c.Stats().Misses
 		}
 		plain := count(func(sk trace.Sink) { trace.Run(g, trace.NewLayout(g), trace.Pull, sk) })
-		ro := s.Relabeled(ds, reorder.NewRabbitOrder())
+		ro := s.Relabeled(ds, reorder.MustNew("ro"))
 		roMiss := count(func(sk trace.Sink) { trace.Run(ro, trace.NewLayout(ro), trace.Pull, sk) })
 		ihtlMiss := count(func(sk trace.Sink) { ihtl.Trace(blocked, ihtl.NewLayout(blocked), sk) })
-		rows = append(rows, IHTLRow{
+		return IHTLRow{
 			Dataset: ds.Name, Kind: ds.Kind,
 			PlainMisses: plain, ROMisses: roMiss, IHTLMisses: ihtlMiss,
 			Hubs: blocked.NumHubs(), Blocks: blocked.NumBlocks(),
-		})
-	}
-	return rows
+		}
+	})
 }
 
 // RenderIHTL renders the §VIII-A comparison.
@@ -75,18 +75,21 @@ type HybridRow struct {
 }
 
 // HybridExperiment runs SB/RO against their cache-aware variants and the
-// RO+GO hybrid on each dataset.
+// RO+GO hybrid on each dataset. Each dataset (with its five variants,
+// whose cache-aware parameters depend on the dataset) is one scheduler
+// cell.
 func HybridExperiment(s *Session, datasets []Dataset) []HybridRow {
-	var rows []HybridRow
-	for _, ds := range datasets {
+	perDS := mapIndexed(s.parallelism(), len(datasets), func(i int) []HybridRow {
+		ds := datasets[i]
 		cacheBytes := uint64(s.CacheFor(ds).SizeBytes())
 		algs := []reorder.Algorithm{
-			reorder.NewSlashBurn(),
-			reorder.NewSlashBurnCacheAware(cacheBytes),
-			reorder.NewRabbitOrder(),
-			reorder.NewRabbitOrderCacheAware(cacheBytes),
-			reorder.NewHybrid(),
+			reorder.MustNew("sb"),
+			reorder.MustNew("sb", reorder.WithCacheBytes(cacheBytes)),
+			reorder.MustNew("ro"),
+			reorder.MustNew("ro", reorder.WithCacheBytes(cacheBytes)),
+			reorder.MustNew("hybrid"),
 		}
+		rows := make([]HybridRow, 0, len(algs))
 		for _, alg := range algs {
 			res := s.Reorder(ds, alg)
 			sim := s.Simulate(ds, alg, core.SimOptions{})
@@ -95,6 +98,11 @@ func HybridExperiment(s *Session, datasets []Dataset) []HybridRow {
 				Misses: sim.Cache.Misses, Preproc: res.Elapsed.Seconds(),
 			})
 		}
+		return rows
+	})
+	var rows []HybridRow
+	for _, r := range perDS {
+		rows = append(rows, r...)
 	}
 	return rows
 }
@@ -121,22 +129,23 @@ type UtilizationRow struct {
 	Misses    uint64
 }
 
-// UtilizationExperiment measures line utilization for each RA.
+// UtilizationExperiment measures line utilization for each RA. Cells run
+// under the parallel scheduler, and the shadow-cache scan inside a cell is
+// additionally sharded by destination-vertex range in parallel sessions
+// (see core.LineUtilizationParallel for the boundary caveat).
 func UtilizationExperiment(s *Session, datasets []Dataset, algs []reorder.Algorithm) []UtilizationRow {
-	var rows []UtilizationRow
-	for _, ds := range datasets {
-		cfg := s.CacheFor(ds)
-		for _, alg := range algs {
-			g := s.Relabeled(ds, alg)
-			u := core.LineUtilization(g, cfg)
-			sim := s.Simulate(ds, alg, core.SimOptions{})
-			rows = append(rows, UtilizationRow{
-				Dataset: ds.Name, Algorithm: alg.Name(),
-				MeanWords: u.MeanWords(), Misses: sim.Cache.Misses,
-			})
+	cells := grid(datasets, algs)
+	return mapIndexed(s.parallelism(), len(cells), func(i int) UtilizationRow {
+		c := cells[i]
+		cfg := s.CacheFor(c.ds)
+		g := s.Relabeled(c.ds, c.alg)
+		u := core.LineUtilizationParallel(g, cfg, s.analysisShards())
+		sim := s.Simulate(c.ds, c.alg, core.SimOptions{})
+		return UtilizationRow{
+			Dataset: c.ds.Name, Algorithm: c.alg.Name(),
+			MeanWords: u.MeanWords(), Misses: sim.Cache.Misses,
 		}
-	}
-	return rows
+	})
 }
 
 // RenderUtilization renders the utilization rows.
@@ -161,9 +170,10 @@ type HilbertRow struct {
 }
 
 // HilbertExperiment measures the §IX-A space-filling-curve baseline.
+// Each dataset is one scheduler cell.
 func HilbertExperiment(s *Session, datasets []Dataset) []HilbertRow {
-	var rows []HilbertRow
-	for _, ds := range datasets {
+	return mapIndexed(s.parallelism(), len(datasets), func(i int) HilbertRow {
+		ds := datasets[i]
 		g := s.Graph(ds)
 		cfg := s.CacheFor(ds)
 		l := trace.NewLayout(g)
@@ -174,14 +184,13 @@ func HilbertExperiment(s *Session, datasets []Dataset) []HilbertRow {
 		}
 		hil := sfc.HilbertOrder(g)
 		row := sfc.RowOrder(g)
-		rows = append(rows, HilbertRow{
+		return HilbertRow{
 			Dataset:       ds.Name,
 			HilbertMisses: count(func(sk trace.Sink) { sfc.Trace(hil, l, sk) }),
 			RowMisses:     count(func(sk trace.Sink) { sfc.Trace(row, l, sk) }),
 			PullMisses:    count(func(sk trace.Sink) { trace.Run(g, l, trace.Pull, sk) }),
-		})
-	}
-	return rows
+		}
+	})
 }
 
 // RenderHilbert renders the space-filling-curve comparison.

@@ -26,15 +26,17 @@ type Series struct {
 // dataset (paper Fig. 1): the misses incurred while *processing* each
 // vertex, binned by its in-degree (the number of random accesses its
 // processing makes in a pull traversal), per-bin miss rate in percent.
+// Each algorithm is one scheduler cell, and the per-vertex binning inside
+// a cell is sharded across vertex ranges (exact at any shard count: the
+// per-bin sums are integer miss counts).
 func Fig1(s *Session, ds Dataset, algs []reorder.Algorithm) []Series {
-	var out []Series
-	for _, alg := range algs {
+	return mapIndexed(s.parallelism(), len(algs), func(i int) Series {
+		alg := algs[i]
 		sim := s.Simulate(ds, alg, core.SimOptions{PerVertex: true})
 		g := s.Relabeled(ds, alg)
-		dist := core.ProcessingMissRateByDegree(sim, g.InDegrees())
-		out = append(out, seriesFromDegreeSeries(alg.Name(), dist))
-	}
-	return out
+		dist := core.ProcessingMissRateByDegreeParallel(sim, g.InDegrees(), s.analysisShards())
+		return seriesFromDegreeSeries(alg.Name(), dist)
+	})
 }
 
 func seriesFromDegreeSeries(name string, d *core.DegreeSeries) Series {
@@ -119,7 +121,8 @@ func Fig2(s *Session, ds Dataset) []Fig2Snapshot {
 			snaps = append(snaps, degreeSnapshot(iter, gccDegrees))
 		}
 	}
-	sb.Reorder(g)
+	// Serial by necessity: the OnIteration callback appends to snaps.
+	_, _ = sb.Reorder(s.controller().Context(), g)
 	return snaps
 }
 
@@ -183,9 +186,11 @@ func RenderFig2(snaps []Fig2Snapshot) string {
 
 // Fig3 computes the AID degree distribution of the initial order and
 // Rabbit-Order (paper Fig. 3).
+// The AID scans shard across vertex ranges in a parallel session (per-bin
+// float sums, so the last ulp may differ from a serial session).
 func Fig3(s *Session, ds Dataset) []Series {
-	initial := core.AIDByDegree(s.Graph(ds))
-	ro := core.AIDByDegree(s.Relabeled(ds, reorder.NewRabbitOrder()))
+	initial := core.AIDByDegreeParallel(s.Graph(ds), s.analysisShards())
+	ro := core.AIDByDegreeParallel(s.Relabeled(ds, reorder.MustNew("ro")), s.analysisShards())
 	return []Series{
 		seriesFromDegreeSeries("Initial", initial),
 		seriesFromDegreeSeries("RabbitOrder", ro),
@@ -298,26 +303,40 @@ type EDRRow struct {
 // range restriction (§VIII-B2). The EDR is taken as [1, √|V|]: the miss
 // rate degree distributions (Fig. 1) show Rabbit-Order improves locality
 // below the hub threshold and degrades it above.
+// Two-phase: reorderings and simulations run under the parallel
+// scheduler, wall-clock traversals serially.
 func EDRExperiment(s *Session, datasets []Dataset) []EDRRow {
-	var rows []EDRRow
-	for _, ds := range datasets {
+	type dsOut struct {
+		full, edr       reorder.Algorithm
+		rFull, rEDR     reorder.Result
+		simFull, simEDR core.SimResult
+	}
+	outs := mapIndexed(s.parallelism(), len(datasets), func(i int) dsOut {
+		ds := datasets[i]
 		g := s.Graph(ds)
 		hub := uint32(g.HubThreshold())
-		full := reorder.NewRabbitOrder()
-		edr := reorder.NewRabbitOrderEDR(1, hub)
-		rFull := s.Reorder(ds, full)
-		rEDR := s.Reorder(ds, edr)
-		tFull, _ := s.TimeTraversal(ds, full, trace.Pull)
-		tEDR, _ := s.TimeTraversal(ds, edr, trace.Pull)
-		simFull := s.Simulate(ds, full, core.SimOptions{})
-		simEDR := s.Simulate(ds, edr, core.SimOptions{})
-		rows = append(rows, EDRRow{
+		full := reorder.MustNew("ro")
+		edr := reorder.MustNew("ro", reorder.WithEDR(1, hub))
+		return dsOut{
+			full: full, edr: edr,
+			rFull:   s.Reorder(ds, full),
+			rEDR:    s.Reorder(ds, edr),
+			simFull: s.Simulate(ds, full, core.SimOptions{}),
+			simEDR:  s.Simulate(ds, edr, core.SimOptions{}),
+		}
+	})
+	rows := make([]EDRRow, len(datasets))
+	for i, ds := range datasets {
+		o := outs[i]
+		tFull, _ := s.TimeTraversal(ds, o.full, trace.Pull)
+		tEDR, _ := s.TimeTraversal(ds, o.edr, trace.Pull)
+		rows[i] = EDRRow{
 			Dataset:     ds.Name,
-			FullPreproc: rFull.Elapsed.Seconds(), EDRPreproc: rEDR.Elapsed.Seconds(),
+			FullPreproc: o.rFull.Elapsed.Seconds(), EDRPreproc: o.rEDR.Elapsed.Seconds(),
 			FullTraversal: float64(tFull.Microseconds()) / 1000,
 			EDRTraversal:  float64(tEDR.Microseconds()) / 1000,
-			FullMisses:    simFull.Cache.Misses, EDRMisses: simEDR.Cache.Misses,
-		})
+			FullMisses:    o.simFull.Cache.Misses, EDRMisses: o.simEDR.Cache.Misses,
+		}
 	}
 	return rows
 }

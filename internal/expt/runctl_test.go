@@ -82,7 +82,7 @@ func TestStageDeadlineDegrades(t *testing.T) {
 	remove := runctl.Inject(victim, runctl.Failpoint{Mode: runctl.FailHang})
 	defer remove()
 
-	alg := hangAlg{}
+	alg := reorder.Wrap(hangAlg{})
 	res := s.Reorder(ds[0], alg)
 	checkIdentity(t, res.Perm)
 	reason, ok := s.Degraded(ds[0], alg)
@@ -98,7 +98,7 @@ func TestStageDeadlineDegrades(t *testing.T) {
 type hangAlg struct{}
 
 func (hangAlg) Name() string { return "hang" }
-func (hangAlg) Reorder(g *graph.Graph) graph.Permutation {
+func (hangAlg) Relabel(g *graph.Graph) graph.Permutation {
 	return graph.Identity(g.NumVertices())
 }
 
@@ -262,7 +262,7 @@ func TestResumeRecomputesMissingCheckpoint(t *testing.T) {
 	s, ds := tinySession()
 	s.CacheDir = t.TempDir()
 	s.Resume = true
-	alg := reorder.DegreeSort{}
+	alg := reorder.Wrap(reorder.DegreeSort{})
 	stage := "reorder/" + ds[0].Name + "/" + alg.Name()
 	remove := runctl.Inject(stage, runctl.Failpoint{Mode: runctl.FailError, Times: -1})
 	defer remove()

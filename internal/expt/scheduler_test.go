@@ -1,0 +1,208 @@
+package expt
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"graphlocality/internal/graph"
+	"graphlocality/internal/reorder"
+	"graphlocality/internal/runctl"
+)
+
+func TestMapIndexedOrderAndCoverage(t *testing.T) {
+	for _, p := range []int{0, 1, 2, 8, 33} {
+		got := mapIndexed(p, 100, func(i int) int { return i * i })
+		if len(got) != 100 {
+			t.Fatalf("parallel=%d: len = %d, want 100", p, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("parallel=%d: out[%d] = %d, want %d", p, i, v, i*i)
+			}
+		}
+	}
+	if got := mapIndexed(4, 0, func(i int) int { return i }); len(got) != 0 {
+		t.Errorf("n=0: len = %d, want 0", len(got))
+	}
+}
+
+// TestMapIndexedRunsConcurrently holds every cell at a barrier that only
+// opens once all of them have started: the test hangs (and times out) if the
+// scheduler does not actually run them concurrently.
+func TestMapIndexedRunsConcurrently(t *testing.T) {
+	const n = 4
+	var barrier sync.WaitGroup
+	barrier.Add(n)
+	mapIndexed(n, n, func(i int) int {
+		barrier.Done()
+		barrier.Wait()
+		return i
+	})
+}
+
+func TestGridRowMajor(t *testing.T) {
+	ds := Suite(Tiny)
+	algs := StandardAlgorithms()
+	cells := grid(ds, algs)
+	if len(cells) != len(ds)*len(algs) {
+		t.Fatalf("grid size %d, want %d", len(cells), len(ds)*len(algs))
+	}
+	for i, c := range cells {
+		if c.di != i/len(algs) || c.ai != i%len(algs) {
+			t.Fatalf("cell %d has position (%d,%d), want (%d,%d)", i, c.di, c.ai, i/len(algs), i%len(algs))
+		}
+		if c.ds.Name != ds[c.di].Name || c.alg.Name() != algs[c.ai].Name() {
+			t.Fatalf("cell %d carries wrong pair %s/%s", i, c.ds.Name, c.alg.Name())
+		}
+	}
+}
+
+// TestParallelSessionMatchesSerial is the acceptance stress test: a
+// Parallel=8 session must render byte-identical deterministic outputs to a
+// serial session. (Tables with wall-clock columns are excluded — Elapsed is
+// inherently non-reproducible — matching the CSV outputs the driver diffs.)
+func TestParallelSessionMatchesSerial(t *testing.T) {
+	serial, ds := tinySession()
+	par, _ := tinySession()
+	par.Parallel = 8
+	algs := StandardAlgorithms()
+
+	type render struct {
+		name string
+		fn   func(s *Session) string
+	}
+	renders := []render{
+		{"table3", func(s *Session) string { return RenderTableIII(TableIII(s, ds, algs)) }},
+		{"table5", func(s *Session) string { return RenderTableV(TableV(s, ds, algs)) }},
+		{"fig1", func(s *Session) string { return RenderSeries("Fig1", Fig1(s, ds[0], algs)) }},
+	}
+	for _, r := range renders {
+		want := r.fn(serial)
+		got := r.fn(par)
+		if got != want {
+			t.Errorf("%s: parallel output diverges from serial\n--- serial ---\n%s\n--- parallel ---\n%s", r.name, want, got)
+		}
+	}
+	if len(serial.DegradedStages()) != 0 || len(par.DegradedStages()) != 0 {
+		t.Fatalf("unexpected degraded stages: serial=%v parallel=%v",
+			serial.DegradedStages(), par.DegradedStages())
+	}
+}
+
+// cancelAfterPeer cancels the run's context from inside its own reorder
+// stage, but only after a peer cell's write-through checkpoint has landed on
+// disk — so the test deterministically has both a completed-and-checkpointed
+// cell and cells that see a dead context.
+type cancelAfterPeer struct {
+	dir      string
+	peerDS   string
+	peerAlg  string
+	vertices uint32
+	cancel   context.CancelFunc
+}
+
+func (cancelAfterPeer) Name() string { return "cancelpeer" }
+
+func (c cancelAfterPeer) Relabel(g *graph.Graph) graph.Permutation {
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, err := LoadPermCheckpoint(c.dir, c.peerDS, c.peerAlg, c.vertices); err == nil {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c.cancel()
+	return graph.Identity(g.NumVertices())
+}
+
+// waitForCancel is a context-first algorithm that blocks until the run is
+// canceled and then reports the context error: its cells deterministically
+// observe a mid-grid cancellation.
+type waitForCancel struct{}
+
+func (waitForCancel) Name() string { return "waitcancel" }
+
+func (waitForCancel) Reorder(ctx context.Context, g *graph.Graph) (graph.Permutation, error) {
+	<-ctx.Done()
+	return nil, ctx.Err()
+}
+
+// TestCancellationMidGridLeavesValidCheckpoints cancels the run from inside
+// one grid cell while others are in flight. Cells that completed before the
+// cancellation must have validating write-through checkpoints; cells cut off
+// by it must be degraded with a cancellation reason, never half-written.
+func TestCancellationMidGridLeavesValidCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+	s, ds := tinySession()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s.Ctrl = runctl.New(ctx, runctl.Config{})
+	s.CacheDir = dir
+	s.Parallel = 4
+
+	peer := reorder.Wrap(reorder.DegreeSort{})
+	trigger := reorder.Wrap(cancelAfterPeer{
+		dir:      dir,
+		peerDS:   ds[0].Name,
+		peerAlg:  peer.Name(),
+		vertices: uint32(s.Graph(ds[0]).NumVertices()),
+		cancel:   cancel,
+	})
+	algs := []reorder.Algorithm{peer, trigger, waitForCancel{}}
+
+	rows := TableII(s, ds, algs)
+	if want := len(ds) * len(algs); len(rows) != want {
+		t.Fatalf("got %d rows, want %d — cancellation must not drop rows", len(rows), want)
+	}
+	if !s.Canceled() {
+		t.Fatal("session does not report cancellation")
+	}
+
+	var completed, degraded int
+	for _, d := range ds {
+		for _, alg := range algs {
+			if _, isDegraded := s.Degraded(d, alg); isDegraded {
+				degraded++
+				continue
+			}
+			completed++
+			// Every completed cell left a validating checkpoint.
+			n := s.Graph(d).NumVertices()
+			got, err := LoadPermCheckpoint(dir, d.Name, alg.Name(), n)
+			if err != nil {
+				t.Errorf("%s/%s completed but checkpoint invalid: %v", d.Name, alg.Name(), err)
+				continue
+			}
+			want := s.Reorder(d, alg)
+			for i := range want.Perm {
+				if got.Perm[i] != want.Perm[i] {
+					t.Errorf("%s/%s: checkpoint perm differs at %d", d.Name, alg.Name(), i)
+					break
+				}
+			}
+		}
+	}
+	// The ds[0] peer cell is guaranteed to finish (and checkpoint) before
+	// the trigger cancels, and every waitForCancel cell is guaranteed to
+	// observe the dead context.
+	if completed == 0 {
+		t.Error("no cell completed before cancellation")
+	}
+	if degraded == 0 {
+		t.Error("no cell observed the cancellation")
+	}
+	if _, ok := s.Degraded(ds[0], peer); ok {
+		t.Error("the checkpointed peer cell must not be degraded")
+	}
+	for _, d := range ds {
+		reason, ok := s.Degraded(d, waitForCancel{})
+		if !ok {
+			t.Errorf("%s/waitcancel not degraded despite blocking on ctx.Done", d.Name)
+		} else if !strings.Contains(reason, "cancel") && !strings.Contains(reason, "deadline") {
+			t.Errorf("%s/waitcancel degraded for reason %q, want a cancellation", d.Name, reason)
+		}
+	}
+}

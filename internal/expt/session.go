@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sync"
 	"time"
 
 	"graphlocality/internal/cachesim"
@@ -16,10 +17,56 @@ import (
 	"graphlocality/internal/trace"
 )
 
+// memo is a concurrency-safe cache with per-key once semantics: concurrent
+// callers of Do with the same key compute the value exactly once and share
+// it; callers of other keys proceed independently (no global lock held
+// during computation).
+type memo[T any] struct {
+	mu sync.Mutex
+	m  map[string]*memoEntry[T]
+}
+
+type memoEntry[T any] struct {
+	once sync.Once
+	val  T
+}
+
+func (c *memo[T]) entry(key string) *memoEntry[T] {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.m == nil {
+		c.m = make(map[string]*memoEntry[T])
+	}
+	e, ok := c.m[key]
+	if !ok {
+		e = &memoEntry[T]{}
+		c.m[key] = e
+	}
+	return e
+}
+
+// Do returns the value for key, computing it with fn exactly once even
+// under concurrent callers (latecomers block until it is ready).
+func (c *memo[T]) Do(key string, fn func() T) T {
+	e := c.entry(key)
+	e.once.Do(func() { e.val = fn() })
+	return e.val
+}
+
+// Set seeds the value for key; a later Do returns it without computing.
+// If the key was already computed the seed is a no-op.
+func (c *memo[T]) Set(key string, val T) {
+	e := c.entry(key)
+	e.once.Do(func() { e.val = val })
+}
+
 // Session memoizes the expensive intermediate artifacts of an experiment
 // run: generated graphs, reordering results and relabeled graphs. All
 // tables and figures of one invocation share a Session so each reordering
-// is computed exactly once. Not safe for concurrent use.
+// is computed exactly once. The session is safe for concurrent use: the
+// parallel scheduler runs independent grid cells on worker goroutines, and
+// per-key once-semantics guarantee that two cells needing the same
+// reordering share one computation.
 //
 // Every reordering and simulation runs as a run-control stage: a panic or
 // deadline overrun inside one RA is isolated into a *runctl.StageError,
@@ -36,9 +83,15 @@ type Session struct {
 	TLBFraction float64
 	// Repeats for wall-clock timing of traversals.
 	Repeats int
+	// Parallel is the number of grid cells the experiment scheduler runs
+	// concurrently (0 or 1 = serial, reproducing the pre-scheduler output
+	// bit-for-bit). Wall-clock timings (TimeTraversal) always run serially
+	// regardless, so parallelism never perturbs reported latencies.
+	Parallel int
 
 	// Ctrl executes the session's stages (cancellation, deadlines, panic
 	// isolation, retries). Lazily created with default config when nil.
+	// Set it before sharing the session across goroutines.
 	Ctrl *runctl.Controller
 	// CacheDir, when non-empty, is where computed permutations are
 	// checkpointed (write-through, one file per dataset/algorithm pair).
@@ -47,33 +100,33 @@ type Session struct {
 	// recomputing.
 	Resume bool
 
-	graphs    map[string]*graph.Graph
-	reorders  map[string]reorder.Result
-	relabeled map[string]*graph.Graph
-	degraded  map[string]string // "ds/alg" -> reason the RA fell back to Initial
-	restored  map[string]bool   // "ds/alg" -> permutation came from a checkpoint
+	graphs    memo[*graph.Graph]
+	reorders  memo[reorder.Result]
+	relabeled memo[*graph.Graph]
+
+	stateMu  sync.Mutex
+	degraded map[string]string // "ds/alg" -> reason the RA fell back to Initial
+	restored map[string]bool   // "ds/alg" -> permutation came from a checkpoint
 }
 
 // NewSession returns a session with the repo's standard measurement
 // parameters (4 threads, 4% vertex-data cache, 10% footprint TLB, 3
-// timing repeats).
+// timing repeats, serial scheduling).
 func NewSession() *Session {
 	return &Session{
 		Threads:       4,
 		CacheFraction: cachesim.DefaultVertexCacheFraction,
 		TLBFraction:   0.10,
 		Repeats:       3,
-		graphs:        make(map[string]*graph.Graph),
-		reorders:      make(map[string]reorder.Result),
-		relabeled:     make(map[string]*graph.Graph),
-		degraded:      make(map[string]string),
-		restored:      make(map[string]bool),
+		Parallel:      1,
 	}
 }
 
 // controller returns the run controller, creating a default one on first
 // use so panic isolation and degradation work without explicit setup.
 func (s *Session) controller() *runctl.Controller {
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
 	if s.Ctrl == nil {
 		s.Ctrl = runctl.New(context.Background(), runctl.Config{})
 	}
@@ -83,12 +136,17 @@ func (s *Session) controller() *runctl.Controller {
 // Canceled reports whether the session's root context has died (e.g.
 // SIGINT): remaining stages degrade immediately so the run unwinds fast.
 func (s *Session) Canceled() bool {
-	return s.Ctrl != nil && s.Ctrl.Err() != nil
+	s.stateMu.Lock()
+	c := s.Ctrl
+	s.stateMu.Unlock()
+	return c != nil && c.Err() != nil
 }
 
 // Degraded reports whether the RA stage for ds/alg failed and fell back to
 // the Initial ordering, and why.
 func (s *Session) Degraded(ds Dataset, alg reorder.Algorithm) (string, bool) {
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
 	reason, ok := s.degraded[ds.Name+"/"+alg.Name()]
 	return reason, ok
 }
@@ -96,6 +154,8 @@ func (s *Session) Degraded(ds Dataset, alg reorder.Algorithm) (string, bool) {
 // DegradedStages returns all degraded "dataset/algorithm" keys mapped to
 // their failure reasons.
 func (s *Session) DegradedStages() map[string]string {
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
 	out := make(map[string]string, len(s.degraded))
 	for k, v := range s.degraded {
 		out[k] = v
@@ -103,10 +163,37 @@ func (s *Session) DegradedStages() map[string]string {
 	return out
 }
 
+func (s *Session) setDegraded(key, reason string) {
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
+	if s.degraded == nil {
+		s.degraded = make(map[string]string)
+	}
+	s.degraded[key] = reason
+}
+
+func (s *Session) isDegraded(key string) bool {
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
+	_, ok := s.degraded[key]
+	return ok
+}
+
 // Restored reports whether the permutation for ds/alg was loaded from a
 // checkpoint rather than computed this run.
 func (s *Session) Restored(ds Dataset, alg reorder.Algorithm) bool {
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
 	return s.restored[ds.Name+"/"+alg.Name()]
+}
+
+func (s *Session) setRestored(key string) {
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
+	if s.restored == nil {
+		s.restored = make(map[string]bool)
+	}
+	s.restored[key] = true
 }
 
 // EngineThreads returns the worker count for wall-clock traversals: the
@@ -123,12 +210,7 @@ func (s *Session) EngineThreads() int {
 
 // Graph returns the memoized graph of ds.
 func (s *Session) Graph(ds Dataset) *graph.Graph {
-	if g, ok := s.graphs[ds.Name]; ok {
-		return g
-	}
-	g := ds.Build()
-	s.graphs[ds.Name] = g
-	return g
+	return s.graphs.Do(ds.Name, func() *graph.Graph { return ds.Build() })
 }
 
 // Reorder returns the memoized reordering result of alg on ds. The
@@ -140,42 +222,45 @@ func (s *Session) Graph(ds Dataset) *graph.Graph {
 // write-through.
 func (s *Session) Reorder(ds Dataset, alg reorder.Algorithm) reorder.Result {
 	key := ds.Name + "/" + alg.Name()
-	if r, ok := s.reorders[key]; ok {
-		return r
-	}
-	g := s.Graph(ds)
-	if s.Resume && s.CacheDir != "" {
-		if r, err := LoadPermCheckpoint(s.CacheDir, ds.Name, alg.Name(), g.NumVertices()); err == nil {
-			s.restored[key] = true
-			s.reorders[key] = r
-			return r
+	return s.reorders.Do(key, func() reorder.Result {
+		g := s.Graph(ds)
+		if s.Resume && s.CacheDir != "" {
+			if r, err := LoadPermCheckpoint(s.CacheDir, ds.Name, alg.Name(), g.NumVertices()); err == nil {
+				s.setRestored(key)
+				return r
+			}
 		}
-	}
-	stage := "reorder/" + key
-	var res reorder.Result
-	err := s.controller().Run(stage, func(ctx context.Context) error {
-		if err := runctl.Fire(ctx, stage); err != nil {
-			return err
-		}
-		r, err := reorder.RunContext(ctx, alg, g)
+		stage := "reorder/" + key
+		var res reorder.Result
+		err := s.controller().Run(stage, func(ctx context.Context) error {
+			if err := runctl.Fire(ctx, stage); err != nil {
+				return err
+			}
+			r, err := reorder.RunContext(ctx, alg, g)
+			if err != nil {
+				return err
+			}
+			res = r
+			return nil
+		})
 		if err != nil {
-			return err
+			// Graceful degradation: the row falls back to the Initial ordering
+			// rather than killing the run and discarding sibling results.
+			res = reorder.Result{Algorithm: alg.Name(), Perm: graph.Identity(g.NumVertices())}
+			s.setDegraded(key, degradeReason(err))
+		} else if s.CacheDir != "" {
+			// Best-effort write-through checkpoint; a failed write must not
+			// fail the experiment.
+			_ = SavePermCheckpoint(s.CacheDir, ds.Name, alg.Name(), res)
 		}
-		res = r
-		return nil
+		return res
 	})
-	if err != nil {
-		// Graceful degradation: the row falls back to the Initial ordering
-		// rather than killing the run and discarding sibling results.
-		res = reorder.Result{Algorithm: alg.Name(), Perm: graph.Identity(g.NumVertices())}
-		s.degraded[key] = degradeReason(err)
-	} else if s.CacheDir != "" {
-		// Best-effort write-through checkpoint; a failed write must not
-		// fail the experiment.
-		_ = SavePermCheckpoint(s.CacheDir, ds.Name, alg.Name(), res)
-	}
-	s.reorders[key] = res
-	return res
+}
+
+// seedReorder installs a precomputed result under ds/<name> so later
+// Relabeled/Simulate/TimeTraversal calls reuse it instead of recomputing.
+func (s *Session) seedReorder(ds Dataset, name string, r reorder.Result) {
+	s.reorders.Set(ds.Name+"/"+name, r)
 }
 
 // degradeReason compresses a stage failure into the short reason shown in
@@ -202,16 +287,13 @@ func (s *Session) Relabeled(ds Dataset, alg reorder.Algorithm) *graph.Graph {
 		return s.Graph(ds)
 	}
 	key := ds.Name + "/" + alg.Name()
-	if g, ok := s.relabeled[key]; ok {
-		return g
-	}
 	r := s.Reorder(ds, alg)
-	if _, deg := s.degraded[key]; deg {
+	if s.isDegraded(key) {
 		return s.Graph(ds)
 	}
-	g := s.Graph(ds).Relabel(r.Perm)
-	s.relabeled[key] = g
-	return g
+	return s.relabeled.Do(key, func() *graph.Graph {
+		return s.Graph(ds).Relabel(r.Perm)
+	})
 }
 
 // CacheFor returns the scaled L3 geometry for ds.
@@ -261,7 +343,9 @@ func (s *Session) Simulate(ds Dataset, alg reorder.Algorithm, opts core.SimOptio
 // TimeTraversal measures the wall-clock time and idle percentage of the
 // engine running one traversal of the relabeled graph, taking the best of
 // s.Repeats runs after one warmup (the paper reports steady-state SpMV
-// iteration time).
+// iteration time). Callers must not run timings concurrently with other
+// work — the two-phase tables precompute graphs in parallel, then time on
+// a quiet machine serially.
 func (s *Session) TimeTraversal(ds Dataset, alg reorder.Algorithm, dir trace.Direction) (time.Duration, float64) {
 	g := s.Relabeled(ds, alg)
 	ctx := s.controller().Context()
@@ -303,9 +387,9 @@ func (s *Session) TimeTraversal(ds Dataset, alg reorder.Algorithm, dir trace.Dir
 func StandardAlgorithms() []reorder.Algorithm {
 	return []reorder.Algorithm{
 		reorder.Identity{},
-		reorder.NewSlashBurn(),
-		reorder.NewGOrder(),
-		reorder.NewRabbitOrder(),
+		reorder.MustNew("sb"),
+		reorder.MustNew("go"),
+		reorder.MustNew("ro"),
 	}
 }
 

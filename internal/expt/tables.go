@@ -77,24 +77,27 @@ type TableIIRow struct {
 
 // TableII measures preprocessing time and allocation for every RA on
 // every dataset. RA stage failures do not abort the table: the affected
-// rows are marked degraded (see Session.Reorder).
+// rows are marked degraded (see Session.Reorder). Cells run under the
+// parallel scheduler; rows come back in grid order regardless.
 func TableII(s *Session, datasets []Dataset, algs []reorder.Algorithm) []TableIIRow {
-	var rows []TableIIRow
-	for _, ds := range datasets {
-		for _, alg := range algs {
-			if _, ok := alg.(reorder.Identity); ok {
-				continue // the baseline has no preprocessing
-			}
-			r := s.Reorder(ds, alg)
-			reason, deg := s.Degraded(ds, alg)
-			rows = append(rows, TableIIRow{
-				Dataset: ds.Name, Algorithm: r.Algorithm,
-				Preprocess: r.Elapsed, AllocBytes: r.AllocBytes,
-				Degraded: deg, DegradedReason: reason,
-			})
+	work := make([]reorder.Algorithm, 0, len(algs))
+	for _, alg := range algs {
+		if _, ok := alg.(reorder.Identity); ok {
+			continue // the baseline has no preprocessing
 		}
+		work = append(work, alg)
 	}
-	return rows
+	cells := grid(datasets, work)
+	return mapIndexed(s.parallelism(), len(cells), func(i int) TableIIRow {
+		c := cells[i]
+		r := s.Reorder(c.ds, c.alg)
+		reason, deg := s.Degraded(c.ds, c.alg)
+		return TableIIRow{
+			Dataset: c.ds.Name, Algorithm: r.Algorithm,
+			Preprocess: r.Elapsed, AllocBytes: r.AllocBytes,
+			Degraded: deg, DegradedReason: reason,
+		}
+	})
 }
 
 // RenderTableII renders preprocessing cost rows. Degraded rows carry a
@@ -138,26 +141,37 @@ type TableIIIRow struct {
 // Thresholds scale with the dataset: √|V| (the paper's hub bar) and the
 // average degree (the LDV/HDV bar).
 func TableIII(s *Session, datasets []Dataset, algs []reorder.Algorithm) []TableIIIRow {
+	// Phase 1: every (dataset, algorithm) simulation runs as its own
+	// scheduler cell; the per-cell outputs are reused across thresholds.
+	type cellOut struct {
+		sim     core.SimResult
+		degrees []uint32
+	}
+	cells := grid(datasets, algs)
+	outs := mapIndexed(s.parallelism(), len(cells), func(i int) cellOut {
+		c := cells[i]
+		return cellOut{
+			sim:     s.Simulate(c.ds, c.alg, core.SimOptions{PerVertex: true}),
+			degrees: s.Relabeled(c.ds, c.alg).OutDegrees(),
+		}
+	})
+	// Phase 2: serial threshold folds in grid order.
 	var rows []TableIIIRow
-	for _, ds := range datasets {
+	names := make([]string, len(algs))
+	for i, alg := range algs {
+		names[i] = alg.Name()
+	}
+	for di, ds := range datasets {
 		g := s.Graph(ds)
 		thresholds := []uint32{
 			uint32(math.Sqrt(float64(g.NumVertices()))),
 			uint32(g.AverageDegree()),
 		}
-		// Per-algorithm simulation, reused across thresholds.
-		names := make([]string, len(algs))
-		missesByAlg := make([]core.SimResult, len(algs))
-		degrees := make([][]uint32, len(algs))
-		for i, alg := range algs {
-			names[i] = alg.Name()
-			missesByAlg[i] = s.Simulate(ds, alg, core.SimOptions{PerVertex: true})
-			degrees[i] = s.Relabeled(ds, alg).OutDegrees()
-		}
 		for _, thr := range thresholds {
 			row := TableIIIRow{Dataset: ds.Name, MinDegree: thr, Algorithms: names}
-			for i := range algs {
-				row.Misses = append(row.Misses, core.MissesAboveDegree(missesByAlg[i], degrees[i], thr))
+			for ai := range algs {
+				o := outs[di*len(algs)+ai]
+				row.Misses = append(row.Misses, core.MissesAboveDegree(o.sim, o.degrees, thr))
 			}
 			rows = append(rows, row)
 		}
@@ -202,22 +216,26 @@ type TableIVRow struct {
 }
 
 // TableIV runs the real engine (time, idle) and the simulator (L3, DTLB)
-// on every relabeled graph.
+// on every relabeled graph. Two-phase: the reorderings and simulations run
+// under the parallel scheduler, then the wall-clock traversals run
+// serially in grid order so contention never skews the reported times.
 func TableIV(s *Session, datasets []Dataset, algs []reorder.Algorithm) []TableIVRow {
-	var rows []TableIVRow
-	for _, ds := range datasets {
-		tlb := s.TLBFor(ds)
-		for _, alg := range algs {
-			elapsed, idle := s.TimeTraversal(ds, alg, trace.Pull)
-			sim := s.Simulate(ds, alg, core.SimOptions{TLB: &tlb})
-			_, deg := s.Degraded(ds, alg)
-			rows = append(rows, TableIVRow{
-				Dataset: ds.Name, Algorithm: alg.Name(),
-				Time: elapsed, IdlePct: idle,
-				L3Misses: sim.Cache.Misses, TLBMisses: sim.TLB.Misses,
-				L3MissRate: sim.Cache.MissRate(),
-				Degraded:   deg,
-			})
+	cells := grid(datasets, algs)
+	sims := mapIndexed(s.parallelism(), len(cells), func(i int) core.SimResult {
+		c := cells[i]
+		tlb := s.TLBFor(c.ds)
+		return s.Simulate(c.ds, c.alg, core.SimOptions{TLB: &tlb})
+	})
+	rows := make([]TableIVRow, len(cells))
+	for i, c := range cells {
+		elapsed, idle := s.TimeTraversal(c.ds, c.alg, trace.Pull)
+		_, deg := s.Degraded(c.ds, c.alg)
+		rows[i] = TableIVRow{
+			Dataset: c.ds.Name, Algorithm: c.alg.Name(),
+			Time: elapsed, IdlePct: idle,
+			L3Misses: sims[i].Cache.Misses, TLBMisses: sims[i].TLB.Misses,
+			L3MissRate: sims[i].Cache.MissRate(),
+			Degraded:   deg,
 		}
 	}
 	return rows
@@ -258,24 +276,22 @@ type TableVRow struct {
 }
 
 // TableV measures ECS via periodic cache-content snapshots during the
-// pull traversal of every relabeled graph.
+// pull traversal of every relabeled graph. Cells run under the parallel
+// scheduler; rows come back in grid order.
 func TableV(s *Session, datasets []Dataset, algs []reorder.Algorithm) []TableVRow {
-	var rows []TableVRow
-	for _, ds := range datasets {
-		g := s.Graph(ds)
-		every := int(trace.CountAccesses(g) / 200)
+	cells := grid(datasets, algs)
+	return mapIndexed(s.parallelism(), len(cells), func(i int) TableVRow {
+		c := cells[i]
+		every := int(trace.CountAccesses(s.Graph(c.ds)) / 200)
 		if every < 1 {
 			every = 1
 		}
-		for _, alg := range algs {
-			sim := s.Simulate(ds, alg, core.SimOptions{SnapshotEvery: every})
-			rows = append(rows, TableVRow{
-				Dataset: ds.Name, Algorithm: alg.Name(),
-				ECSPct: sim.ECS, L3Misses: sim.Cache.Misses,
-			})
+		sim := s.Simulate(c.ds, c.alg, core.SimOptions{SnapshotEvery: every})
+		return TableVRow{
+			Dataset: c.ds.Name, Algorithm: c.alg.Name(),
+			ECSPct: sim.ECS, L3Misses: sim.Cache.Misses,
 		}
-	}
-	return rows
+	})
 }
 
 // RenderTableV renders ECS rows.
@@ -305,24 +321,31 @@ type TableVIRow struct {
 }
 
 // TableVI runs the pull (CSC) and push-read (CSR) traversals with the same
-// read operation on each dataset.
+// read operation on each dataset. Two-phase: the per-dataset simulations
+// run under the parallel scheduler, the wall-clock timings serially.
 func TableVI(s *Session, datasets []Dataset) []TableVIRow {
-	var rows []TableVIRow
 	id := reorder.Identity{}
-	for _, ds := range datasets {
-		csc := s.Simulate(ds, id, core.SimOptions{Direction: trace.Pull})
-		csr := s.Simulate(ds, id, core.SimOptions{Direction: trace.PushRead})
+	type dsSims struct{ csc, csr core.SimResult }
+	sims := mapIndexed(s.parallelism(), len(datasets), func(i int) dsSims {
+		ds := datasets[i]
+		return dsSims{
+			csc: s.Simulate(ds, id, core.SimOptions{Direction: trace.Pull}),
+			csr: s.Simulate(ds, id, core.SimOptions{Direction: trace.PushRead}),
+		}
+	})
+	rows := make([]TableVIRow, len(datasets))
+	for i, ds := range datasets {
 		cscT, _ := s.TimeTraversal(ds, id, trace.Pull)
 		csrT, _ := s.TimeTraversal(ds, id, trace.PushRead)
 		faster := "CSC"
-		if csr.Cache.Misses < csc.Cache.Misses {
+		if sims[i].csr.Cache.Misses < sims[i].csc.Cache.Misses {
 			faster = "CSR"
 		}
-		rows = append(rows, TableVIRow{
+		rows[i] = TableVIRow{
 			Dataset: ds.Name, Kind: ds.Kind,
-			CSCMisses: csc.Cache.Misses, CSRMisses: csr.Cache.Misses,
+			CSCMisses: sims[i].csc.Cache.Misses, CSRMisses: sims[i].csr.Cache.Misses,
 			CSCTime: cscT, CSRTime: csrT, FasterTrav: faster,
-		})
+		}
 	}
 	return rows
 }
@@ -356,10 +379,18 @@ type TableVIIRow struct {
 	SBPPMisses     uint64
 }
 
-// TableVII measures the effect of stopping SlashBurn early.
+// TableVII measures the effect of stopping SlashBurn early. Two-phase:
+// each dataset's fresh SB/SB++ runs and simulations form one scheduler
+// cell, then the wall-clock traversals run serially in order.
 func TableVII(s *Session, datasets []Dataset) []TableVIIRow {
-	var rows []TableVIIRow
-	for _, ds := range datasets {
+	type dsOut struct {
+		sb, sbpp     reorder.Algorithm
+		rSB, rPP     reorder.Result
+		itSB, itPP   int
+		simSB, simPP core.SimResult
+	}
+	outs := mapIndexed(s.parallelism(), len(datasets), func(i int) dsOut {
+		ds := datasets[i]
 		// Run fresh instances directly (not via the session memo) so the
 		// iteration counters belong to these runs, then seed the memo so
 		// the relabeling is not recomputed.
@@ -370,19 +401,26 @@ func TableVII(s *Session, datasets []Dataset) []TableVIIRow {
 		itSB := sb.Iterations()
 		rPP := reorder.Run(sbpp, g)
 		itPP := sbpp.Iterations()
-		s.reorders[ds.Name+"/"+sb.Name()] = rSB
-		s.reorders[ds.Name+"/"+sbpp.Name()] = rPP
-		tSB, _ := s.TimeTraversal(ds, sb, trace.Pull)
-		tPP, _ := s.TimeTraversal(ds, sbpp, trace.Pull)
-		simSB := s.Simulate(ds, sb, core.SimOptions{})
-		simPP := s.Simulate(ds, sbpp, core.SimOptions{})
-		rows = append(rows, TableVIIRow{
+		s.seedReorder(ds, sb.Name(), rSB)
+		s.seedReorder(ds, sbpp.Name(), rPP)
+		return dsOut{
+			sb: sb, sbpp: sbpp, rSB: rSB, rPP: rPP, itSB: itSB, itPP: itPP,
+			simSB: s.Simulate(ds, sb, core.SimOptions{}),
+			simPP: s.Simulate(ds, sbpp, core.SimOptions{}),
+		}
+	})
+	rows := make([]TableVIIRow, len(datasets))
+	for i, ds := range datasets {
+		o := outs[i]
+		tSB, _ := s.TimeTraversal(ds, o.sb, trace.Pull)
+		tPP, _ := s.TimeTraversal(ds, o.sbpp, trace.Pull)
+		rows[i] = TableVIIRow{
 			Dataset:   ds.Name,
-			SBPreproc: rSB.Elapsed, SBPPPreproc: rPP.Elapsed,
-			SBIterations: itSB, SBPPIterations: itPP,
+			SBPreproc: o.rSB.Elapsed, SBPPPreproc: o.rPP.Elapsed,
+			SBIterations: o.itSB, SBPPIterations: o.itPP,
 			SBTime: tSB, SBPPTime: tPP,
-			SBMisses: simSB.Cache.Misses, SBPPMisses: simPP.Cache.Misses,
-		})
+			SBMisses: o.simSB.Cache.Misses, SBPPMisses: o.simPP.Cache.Misses,
+		}
 	}
 	return rows
 }

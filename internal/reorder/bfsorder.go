@@ -9,11 +9,18 @@ import "graphlocality/internal/graph"
 // Rabbit-Order computes properly.
 type BFSOrder struct{}
 
-// Name implements Algorithm.
+func init() {
+	MustRegister(Registration{
+		Name: "bfs",
+		New:  func(*Options) Algorithm { return Wrap(BFSOrder{}) },
+	})
+}
+
+// Name implements ContextFree.
 func (BFSOrder) Name() string { return "BFS" }
 
-// Reorder implements Algorithm.
-func (BFSOrder) Reorder(g *graph.Graph) graph.Permutation {
+// Relabel implements ContextFree.
+func (BFSOrder) Relabel(g *graph.Graph) graph.Permutation {
 	und := g.Undirected()
 	n := und.NumVertices()
 	order := make([]uint32, 0, n)

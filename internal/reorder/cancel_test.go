@@ -35,15 +35,14 @@ func TestCancellationMidRun(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel() // the first poll must observe the dead context
 
-	algs := []ContextAlgorithm{
+	algs := []Algorithm{
 		&SlashBurn{KFraction: 0.02, PollEvery: 4},
 		&GOrder{Window: 5, PollEvery: 4},
 		&RabbitOrder{PollEvery: 4},
 	}
 	for _, alg := range algs {
-		a := alg.(Algorithm)
-		t.Run(a.Name(), func(t *testing.T) {
-			perm, err := alg.ReorderContext(ctx, g)
+		t.Run(alg.Name(), func(t *testing.T) {
+			perm, err := alg.Reorder(ctx, g)
 			if !errors.Is(err, runctl.ErrCanceled) {
 				t.Fatalf("want ErrCanceled, got %v", err)
 			}
@@ -57,17 +56,16 @@ func TestCancellationMidRun(t *testing.T) {
 func TestContextAlgorithmsCompleteUncancelled(t *testing.T) {
 	g := gen.RMAT(gen.DefaultRMAT(8, 8, 3))
 	n := g.NumVertices()
-	algs := []ContextAlgorithm{
-		NewSlashBurn(),
-		NewGOrder(),
-		NewRabbitOrder(),
+	algs := []Algorithm{
+		MustNew("sb"),
+		MustNew("go"),
+		MustNew("ro"),
 	}
 	for _, alg := range algs {
-		a := alg.(Algorithm)
-		t.Run(a.Name(), func(t *testing.T) {
-			perm, err := alg.ReorderContext(context.Background(), g)
+		t.Run(alg.Name(), func(t *testing.T) {
+			perm, err := alg.Reorder(context.Background(), g)
 			if err != nil {
-				t.Fatalf("ReorderContext: %v", err)
+				t.Fatalf("Reorder: %v", err)
 			}
 			checkPerm(t, perm, n)
 		})

@@ -12,7 +12,7 @@ func ExampleDegreeSort() {
 	g := graph.FromEdges(3, []graph.Edge{
 		{Src: 2, Dst: 0}, {Src: 2, Dst: 1}, {Src: 0, Dst: 2},
 	})
-	perm := reorder.DegreeSort{}.Reorder(g)
+	perm := reorder.DegreeSort{}.Relabel(g)
 	fmt.Println("new ID of vertex 2:", perm[2])
 	// Output: new ID of vertex 2: 0
 }

@@ -12,7 +12,7 @@ import (
 
 func TestHybridValidOnAllShapes(t *testing.T) {
 	for name, g := range testGraphs() {
-		perm := NewHybrid().Reorder(g)
+		perm := Perm(NewHybrid(), g)
 		if uint32(len(perm)) != g.NumVertices() {
 			t.Errorf("%s: perm length %d", name, len(perm))
 			continue
@@ -27,7 +27,7 @@ func TestHybridPlacesLDVBeforeHubs(t *testing.T) {
 	g := gen.WebGraph(gen.DefaultWebGraph(2048, 8, 3))
 	und := g.Undirected()
 	thr := g.HubThreshold()
-	perm := NewHybrid().Reorder(g)
+	perm := Perm(NewHybrid(), g)
 	var maxLDV, minHub uint32
 	minHub = ^uint32(0)
 	sawHub := false
@@ -63,7 +63,7 @@ func TestSlashBurnCacheAwareStopsEarly(t *testing.T) {
 	// A tiny cache budget: only ~64 hub entries fit -> at most a couple
 	// of iterations with k = 0.02*4096 ≈ 81.
 	ca := NewSlashBurnCacheAware(64 * 8)
-	perm := ca.Reorder(g)
+	perm := Perm(ca, g)
 	if err := perm.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +71,7 @@ func TestSlashBurnCacheAwareStopsEarly(t *testing.T) {
 		t.Errorf("Name = %q", ca.Name())
 	}
 	full := NewSlashBurn()
-	full.Reorder(g)
+	Perm(full, g)
 	if ca.Iterations() > full.Iterations() {
 		t.Errorf("cache-aware SB ran %d iterations, full SB %d", ca.Iterations(), full.Iterations())
 	}
@@ -83,7 +83,7 @@ func TestSlashBurnCacheAwareStopsEarly(t *testing.T) {
 func TestRabbitOrderCommunityCap(t *testing.T) {
 	g := gen.WebGraph(gen.DefaultWebGraph(4096, 8, 11))
 	capped := NewRabbitOrderCacheAware(32 * 8) // communities of at most 32 vertices
-	perm := capped.Reorder(g)
+	perm := Perm(capped, g)
 	if err := perm.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +110,7 @@ func TestRabbitOrderCapLimitsCommunities(t *testing.T) {
 	g := graph.FromEdges(12, edges)
 
 	capped := &RabbitOrder{MaxCommunitySize: 3}
-	if err := capped.Reorder(g).Validate(); err != nil {
+	if err := Perm(capped, g).Validate(); err != nil {
 		t.Fatal(err)
 	}
 	var total uint32
@@ -125,7 +125,7 @@ func TestRabbitOrderCapLimitsCommunities(t *testing.T) {
 	}
 	// Sanity: uncapped RO does form larger communities here.
 	un := NewRabbitOrder()
-	un.Reorder(g)
+	Perm(un, g)
 	maxUn := uint32(0)
 	for _, s := range un.CommunitySizes() {
 		if s > maxUn {

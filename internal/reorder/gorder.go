@@ -28,28 +28,34 @@ import (
 type GOrder struct {
 	// Window is the sliding-window size (default 5).
 	Window int
-	// PollEvery is the cooperative-cancellation granularity of
-	// ReorderContext, in vertex placements (0 = runctl.DefaultPollInterval).
+	// PollEvery is the cooperative-cancellation granularity of Reorder,
+	// in vertex placements (0 = runctl.DefaultPollInterval).
 	PollEvery int
 }
 
+func init() {
+	MustRegister(Registration{
+		Name:    "go",
+		Aliases: []string{"gorder"},
+		Accepts: []string{OptWindow},
+		New:     func(o *Options) Algorithm { return &GOrder{Window: o.Window} },
+	})
+}
+
 // NewGOrder returns GOrder with the paper's default window of 5.
+//
+// Deprecated: use New("go") or New("go", WithWindow(w)).
 func NewGOrder() *GOrder { return &GOrder{Window: 5} }
 
 // Name implements Algorithm.
 func (o *GOrder) Name() string { return "GO" }
 
-// Reorder implements Algorithm.
-func (o *GOrder) Reorder(g *graph.Graph) graph.Permutation {
-	perm, _ := o.ReorderContext(context.Background(), g)
-	return perm
-}
-
-// ReorderContext implements ContextAlgorithm: the placement loop polls ctx
-// every PollEvery placements. On cancellation the not-yet-placed vertices
-// keep their original relative order after the placed prefix, so the
-// partial permutation is still a valid relabeling.
-func (o *GOrder) ReorderContext(ctx context.Context, g *graph.Graph) (graph.Permutation, error) {
+// Reorder implements Algorithm: the placement loop polls ctx every
+// PollEvery placements. On cancellation the not-yet-placed vertices keep
+// their original relative order after the placed prefix, so the partial
+// permutation is still a valid relabeling. GOrder's configuration is
+// read-only during a run, so one instance may reorder concurrently.
+func (o *GOrder) Reorder(ctx context.Context, g *graph.Graph) (graph.Permutation, error) {
 	w := o.Window
 	if w < 1 {
 		w = 5

@@ -49,7 +49,7 @@ func TestUnitHeapBasics(t *testing.T) {
 
 func TestGOrderStartsAtMaxDegree(t *testing.T) {
 	g := gen.Star(100)
-	perm := NewGOrder().Reorder(g)
+	perm := Perm(NewGOrder(), g)
 	if perm[0] != 0 {
 		t.Errorf("max-degree vertex got ID %d, want 0", perm[0])
 	}
@@ -63,7 +63,7 @@ func TestGOrderGroupsSiblings(t *testing.T) {
 		{Src: 1, Dst: 5}, {Src: 1, Dst: 6}, {Src: 1, Dst: 7},
 	}
 	g := graph.FromEdges(8, edges)
-	perm := NewGOrder().Reorder(g)
+	perm := Perm(NewGOrder(), g)
 	if err := perm.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +92,7 @@ func spread(perm graph.Permutation, vs []uint32) uint32 {
 
 func TestGOrderHandlesDisconnected(t *testing.T) {
 	g := graph.FromEdges(6, []graph.Edge{{Src: 0, Dst: 1}, {Src: 3, Dst: 4}})
-	perm := NewGOrder().Reorder(g)
+	perm := Perm(NewGOrder(), g)
 	if err := perm.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -100,8 +100,8 @@ func TestGOrderHandlesDisconnected(t *testing.T) {
 
 func TestGOrderWindowConfigurable(t *testing.T) {
 	g := gen.ErdosRenyi(200, 1000, 3)
-	a := (&GOrder{Window: 3}).Reorder(g)
-	b := (&GOrder{Window: 8}).Reorder(g)
+	a := Perm(&GOrder{Window: 3}, g)
+	b := Perm(&GOrder{Window: 8}, g)
 	if err := a.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +109,7 @@ func TestGOrderWindowConfigurable(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Zero window falls back to the default without crashing.
-	c := (&GOrder{}).Reorder(g)
+	c := Perm(&GOrder{}, g)
 	if err := c.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -127,8 +127,8 @@ func TestGOrderImprovesTemporalProximity(t *testing.T) {
 		}
 		return total
 	}
-	gorder := score(NewGOrder().Reorder(g))
-	random := score(Random{Seed: 4}.Reorder(g))
+	gorder := score(Perm(NewGOrder(), g))
+	random := score(Random{Seed: 4}.Relabel(g))
 	if gorder <= random {
 		t.Errorf("GOrder adjacency sharing %d not above random %d", gorder, random)
 	}

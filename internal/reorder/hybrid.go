@@ -1,6 +1,7 @@
 package reorder
 
 import (
+	"context"
 	"math"
 
 	"graphlocality/internal/graph"
@@ -21,17 +22,30 @@ type Hybrid struct {
 	Window int
 }
 
+func init() {
+	MustRegister(Registration{
+		Name:    "hybrid",
+		Aliases: []string{"ro+go"},
+		Accepts: []string{OptWindow},
+		New:     func(o *Options) Algorithm { return &Hybrid{Window: o.Window} },
+	})
+}
+
 // NewHybrid returns the Hybrid RA with GOrder's default window.
+//
+// Deprecated: use New("hybrid") or New("hybrid", WithWindow(w)).
 func NewHybrid() *Hybrid { return &Hybrid{Window: 5} }
 
 // Name implements Algorithm.
 func (h *Hybrid) Name() string { return "RO+GO" }
 
-// Reorder implements Algorithm.
-func (h *Hybrid) Reorder(g *graph.Graph) graph.Permutation {
+// Reorder implements Algorithm: both phases inherit ctx, and cancellation
+// in either still yields a valid (partially optimized) permutation
+// alongside the error.
+func (h *Hybrid) Reorder(ctx context.Context, g *graph.Graph) (graph.Permutation, error) {
 	n := g.NumVertices()
 	if n == 0 {
-		return graph.Permutation{}
+		return graph.Permutation{}, nil
 	}
 	thr := uint32(math.Sqrt(float64(n)))
 	und := g.Undirected()
@@ -39,8 +53,11 @@ func (h *Hybrid) Reorder(g *graph.Graph) graph.Permutation {
 	// Phase 1: Rabbit-Order over the LDV (degree ≤ thr). Hubs fall
 	// outside the EDR and land, in relative order, after the clustered
 	// LDV block.
-	ro := NewRabbitOrderEDR(0, thr)
-	roPerm := ro.Reorder(g)
+	ro := &RabbitOrder{MinDegree: 0, MaxDegree: thr}
+	roPerm, err := ro.Reorder(ctx, g)
+	if err != nil {
+		return roPerm, err
+	}
 
 	// Count LDV to locate the hub block.
 	var numLDV uint32
@@ -53,13 +70,15 @@ func (h *Hybrid) Reorder(g *graph.Graph) graph.Permutation {
 		}
 	}
 	if numLDV == n {
-		return roPerm // no hubs at all
+		return roPerm, nil // no hubs at all
 	}
 
 	// Phase 2: GOrder over the hub-induced subgraph, rewriting the hub
-	// block of roPerm.
+	// block of roPerm. A canceled GOrder still returns a valid (partially
+	// placed) permutation of the subgraph, so the merged result below
+	// stays a bijection either way.
 	sub, compact := g.InducedSubgraph(isHub)
-	goPerm := (&GOrder{Window: h.Window}).Reorder(sub)
+	goPerm, err := (&GOrder{Window: h.Window}).Reorder(ctx, sub)
 
 	// Hubs occupy IDs [numLDV, n) ordered by the GOrder pass.
 	perm := make(graph.Permutation, n)
@@ -70,5 +89,5 @@ func (h *Hybrid) Reorder(g *graph.Graph) graph.Permutation {
 			perm[v] = roPerm[v]
 		}
 	}
-	return perm
+	return perm, err
 }

@@ -1,0 +1,79 @@
+package reorder
+
+// Canonical option names, used both to declare what a Registration
+// accepts and to report unknown-option errors.
+const (
+	OptSeed       = "seed"
+	OptWindow     = "window"
+	OptEDR        = "edr"
+	OptCacheBytes = "cachebytes"
+)
+
+// Options carries every tunable the registry's factories understand.
+// Zero values are replaced by per-algorithm defaults; Provided tells a
+// factory whether an option was set explicitly.
+type Options struct {
+	// Seed seeds randomized orderings (Random). Default 1.
+	Seed uint64
+	// Window is the GOrder sliding-window size. Default 5 (the paper's).
+	Window int
+	// EDRMin/EDRMax restrict Rabbit-Order to the efficacy degree range
+	// [EDRMin, EDRMax] (§VIII-B2). Zero values mean unrestricted.
+	EDRMin, EDRMax uint32
+	// CacheBytes makes SlashBurn/Rabbit-Order cache-aware (§VIII-C).
+	CacheBytes uint64
+
+	provided map[string]bool
+}
+
+// Option mutates Options; build them with WithSeed, WithWindow, WithEDR
+// and WithCacheBytes.
+type Option func(*Options)
+
+// Provided reports whether the named option was set explicitly.
+func (o *Options) Provided(name string) bool { return o.provided[name] }
+
+func (o *Options) set(name string) {
+	if o.provided == nil {
+		o.provided = make(map[string]bool, 4)
+	}
+	o.provided[name] = true
+}
+
+func defaultOptions() *Options {
+	return &Options{Seed: 1, Window: 5}
+}
+
+// WithSeed seeds randomized orderings.
+func WithSeed(seed uint64) Option {
+	return func(o *Options) {
+		o.Seed = seed
+		o.set(OptSeed)
+	}
+}
+
+// WithWindow sets the GOrder (and Hybrid hub-pass) sliding-window size.
+func WithWindow(w int) Option {
+	return func(o *Options) {
+		o.Window = w
+		o.set(OptWindow)
+	}
+}
+
+// WithEDR restricts Rabbit-Order to the efficacy degree range
+// [minDeg, maxDeg]; maxDeg 0 means unbounded above.
+func WithEDR(minDeg, maxDeg uint32) Option {
+	return func(o *Options) {
+		o.EDRMin, o.EDRMax = minDeg, maxDeg
+		o.set(OptEDR)
+	}
+}
+
+// WithCacheBytes makes cache-aware variants (SB-CA, RO-CA) target a cache
+// of the given capacity.
+func WithCacheBytes(b uint64) Option {
+	return func(o *Options) {
+		o.CacheBytes = b
+		o.set(OptCacheBytes)
+	}
+}

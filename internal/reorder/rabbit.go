@@ -3,6 +3,7 @@ package reorder
 import (
 	"context"
 	"sort"
+	"sync"
 
 	"graphlocality/internal/graph"
 	"graphlocality/internal/runctl"
@@ -36,19 +37,42 @@ type RabbitOrder struct {
 	// vertices in a community"). A natural setting is
 	// cacheBytes / 8 vertex-data entries.
 	MaxCommunitySize uint32
-	// PollEvery is the cooperative-cancellation granularity of
-	// ReorderContext, in merge-loop visits (0 = runctl.DefaultPollInterval).
+	// PollEvery is the cooperative-cancellation granularity of Reorder,
+	// in merge-loop visits (0 = runctl.DefaultPollInterval).
 	PollEvery int
 
+	statMu             sync.Mutex // guards lastCommunitySizes
 	lastCommunitySizes []uint32
 }
 
+func init() {
+	MustRegister(Registration{
+		Name:    "ro",
+		Aliases: []string{"rabbit", "rabbitorder"},
+		Accepts: []string{OptEDR, OptCacheBytes},
+		New: func(o *Options) Algorithm {
+			return &RabbitOrder{
+				MinDegree:        o.EDRMin,
+				MaxDegree:        o.EDRMax,
+				MaxCommunitySize: uint32(o.CacheBytes / 8),
+			}
+		},
+	})
+}
+
 // CommunitySizes returns the vertex count of every top-level community
-// formed by the last Reorder call (eligible vertices only), in root-ID
-// order. Not safe for concurrent use.
-func (r *RabbitOrder) CommunitySizes() []uint32 { return r.lastCommunitySizes }
+// formed by the last completed Reorder call (eligible vertices only), in
+// root-ID order. Safe for concurrent use; with overlapping runs on one
+// instance the last writer wins.
+func (r *RabbitOrder) CommunitySizes() []uint32 {
+	r.statMu.Lock()
+	defer r.statMu.Unlock()
+	return r.lastCommunitySizes
+}
 
 // NewRabbitOrder returns the unrestricted Rabbit-Order.
+//
+// Deprecated: use New("ro").
 func NewRabbitOrder() *RabbitOrder { return &RabbitOrder{} }
 
 // NewRabbitOrderEDR returns Rabbit-Order restricted to the efficacy degree
@@ -56,12 +80,16 @@ func NewRabbitOrder() *RabbitOrder { return &RabbitOrder{} }
 // passed to the community-growth phase; all other vertices keep their
 // relative order at the tail of the ID space, the same way zero-degree
 // vertices are treated (§VIII-B2).
+//
+// Deprecated: use New("ro", WithEDR(minDeg, maxDeg)).
 func NewRabbitOrderEDR(minDeg, maxDeg uint32) *RabbitOrder {
 	return &RabbitOrder{MinDegree: minDeg, MaxDegree: maxDeg}
 }
 
 // NewRabbitOrderCacheAware returns Rabbit-Order whose communities are
 // capped at the number of vertex-data entries the cache holds (§VIII-C).
+//
+// Deprecated: use New("ro", WithCacheBytes(cacheBytes)).
 func NewRabbitOrderCacheAware(cacheBytes uint64) *RabbitOrder {
 	return &RabbitOrder{MaxCommunitySize: uint32(cacheBytes / 8)}
 }
@@ -77,17 +105,11 @@ func (r *RabbitOrder) Name() string {
 	return "RO"
 }
 
-// Reorder implements Algorithm.
-func (r *RabbitOrder) Reorder(g *graph.Graph) graph.Permutation {
-	perm, _ := r.ReorderContext(context.Background(), g)
-	return perm
-}
-
-// ReorderContext implements ContextAlgorithm: the community-merge loop
-// polls ctx every PollEvery visited vertices. On cancellation the
-// dendrogram built so far is still flattened into a valid permutation, so
-// the partial result clusters whatever communities had formed.
-func (r *RabbitOrder) ReorderContext(ctx context.Context, g *graph.Graph) (graph.Permutation, error) {
+// Reorder implements Algorithm: the community-merge loop polls ctx every
+// PollEvery visited vertices. On cancellation the dendrogram built so far
+// is still flattened into a valid permutation, so the partial result
+// clusters whatever communities had formed.
+func (r *RabbitOrder) Reorder(ctx context.Context, g *graph.Graph) (graph.Permutation, error) {
 	n := g.NumVertices()
 	if n == 0 {
 		return graph.Permutation{}, nil
@@ -244,12 +266,12 @@ func (r *RabbitOrder) ReorderContext(ctx context.Context, g *graph.Graph) (graph
 	var next uint32
 	var stack []uint32
 	assigned := make([]bool, n)
-	r.lastCommunitySizes = r.lastCommunitySizes[:0]
+	var communitySizes []uint32
 	for v := uint32(0); v < n; v++ {
 		if !eligible[v] || find(v) != v {
 			continue
 		}
-		r.lastCommunitySizes = append(r.lastCommunitySizes, size[v])
+		communitySizes = append(communitySizes, size[v])
 		// Iterative DFS, children visited in merge order.
 		stack = append(stack[:0], v)
 		for len(stack) > 0 {
@@ -277,5 +299,8 @@ func (r *RabbitOrder) ReorderContext(ctx context.Context, g *graph.Graph) (graph
 			next++
 		}
 	}
+	r.statMu.Lock()
+	r.lastCommunitySizes = communitySizes
+	r.statMu.Unlock()
 	return perm, cancelErr
 }

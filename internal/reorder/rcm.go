@@ -14,11 +14,18 @@ import (
 // the resulting order.
 type RCM struct{}
 
-// Name implements Algorithm.
+func init() {
+	MustRegister(Registration{
+		Name: "rcm",
+		New:  func(*Options) Algorithm { return Wrap(RCM{}) },
+	})
+}
+
+// Name implements ContextFree.
 func (RCM) Name() string { return "RCM" }
 
-// Reorder implements Algorithm.
-func (RCM) Reorder(g *graph.Graph) graph.Permutation {
+// Relabel implements ContextFree.
+func (RCM) Relabel(g *graph.Graph) graph.Permutation {
 	u := g.Undirected()
 	n := u.NumVertices()
 	deg := make([]uint32, n)

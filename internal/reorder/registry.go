@@ -1,0 +1,128 @@
+package reorder
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Registration describes one algorithm to the registry.
+type Registration struct {
+	// Name is the canonical lookup key ("sb", "go", "ro", ...).
+	Name string
+	// Aliases are alternative lookup keys ("slashburn", "gorder", ...).
+	Aliases []string
+	// Accepts lists the option names (OptSeed, OptWindow, ...) the
+	// factory consumes; passing any other option to New is an error.
+	Accepts []string
+	// New builds the algorithm from resolved options.
+	New func(o *Options) Algorithm
+}
+
+var registry = struct {
+	sync.RWMutex
+	byName map[string]*Registration // canonical names and aliases
+	names  []string                 // canonical names, registration order
+}{byName: make(map[string]*Registration)}
+
+// Register adds an algorithm to the registry. Re-registering a name or
+// alias that is already taken is an error.
+func Register(r Registration) error {
+	if r.Name == "" {
+		return fmt.Errorf("reorder: Register with empty name")
+	}
+	if r.New == nil {
+		return fmt.Errorf("reorder: Register(%q) with nil factory", r.Name)
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	keys := append([]string{r.Name}, r.Aliases...)
+	for _, k := range keys {
+		if _, dup := registry.byName[k]; dup {
+			return fmt.Errorf("reorder: algorithm %q already registered", k)
+		}
+	}
+	reg := r
+	for _, k := range keys {
+		registry.byName[k] = &reg
+	}
+	registry.names = append(registry.names, r.Name)
+	return nil
+}
+
+// MustRegister is Register that panics on error; intended for package
+// init blocks.
+func MustRegister(r Registration) {
+	if err := Register(r); err != nil {
+		panic(err)
+	}
+}
+
+// List returns the canonical names of all registered algorithms, sorted.
+func List() []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	names := append([]string(nil), registry.names...)
+	sort.Strings(names)
+	return names
+}
+
+// New builds the named algorithm with the given options. Unknown names
+// and options the algorithm does not accept are errors.
+func New(name string, opts ...Option) (Algorithm, error) {
+	registry.RLock()
+	reg := registry.byName[name]
+	registry.RUnlock()
+	if reg == nil {
+		return nil, fmt.Errorf("reorder: unknown algorithm %q (known: %s)", name, strings.Join(List(), ", "))
+	}
+	o := defaultOptions()
+	for _, opt := range opts {
+		opt(o)
+	}
+	accepts := make(map[string]bool, len(reg.Accepts))
+	for _, a := range reg.Accepts {
+		accepts[a] = true
+	}
+	for provided := range o.provided {
+		if !accepts[provided] {
+			return nil, fmt.Errorf("reorder: algorithm %q does not accept option %q (accepts: %s)",
+				name, provided, acceptsList(reg.Accepts))
+		}
+	}
+	return reg.New(o), nil
+}
+
+func acceptsList(accepts []string) string {
+	if len(accepts) == 0 {
+		return "none"
+	}
+	s := append([]string(nil), accepts...)
+	sort.Strings(s)
+	return strings.Join(s, ", ")
+}
+
+// MustNew is New that panics on error; intended for static algorithm sets
+// over built-in names.
+func MustNew(name string, opts ...Option) Algorithm {
+	alg, err := New(name, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return alg
+}
+
+// Registry returns the standard algorithm set by name, threading seed to
+// algorithms that take one.
+//
+// Deprecated: use New with functional options (WithSeed and friends).
+func Registry(name string, seed uint64) (Algorithm, error) {
+	alg, err := New(name, WithSeed(seed))
+	if err == nil {
+		return alg, nil
+	}
+	// The named algorithm may simply not take a seed; retry without it so
+	// the legacy signature keeps working for every algorithm.
+	return New(name)
+}

@@ -7,11 +7,26 @@
 // A relabeling algorithm receives a graph and produces a relabeling array
 // of |V| elements indexed by old vertex ID yielding the new ID (§II-E).
 // The graph is then rebuilt with graph.Relabel.
+//
+// # API
+//
+// Every algorithm implements the single context-first Algorithm interface:
+//
+//	Reorder(ctx, g) (graph.Permutation, error)
+//
+// The heavy algorithms (SlashBurn, GOrder, Rabbit-Order, Hybrid) poll ctx
+// and return a valid partial permutation wrapping runctl.ErrCanceled when
+// it dies mid-run. Cheap combinatorial orderings implement the ContextFree
+// interface instead and are adapted with Wrap (or the Legacy struct), so
+// callers never type-assert for cancelability.
+//
+// Algorithms are constructed by name through the registry (New, MustNew,
+// List) with functional options (WithSeed, WithWindow, WithEDR,
+// WithCacheBytes); see registry.go and options.go.
 package reorder
 
 import (
 	"context"
-	"fmt"
 	"runtime"
 	"sort"
 	"time"
@@ -19,21 +34,53 @@ import (
 	"graphlocality/internal/graph"
 )
 
-// Algorithm is a vertex reordering (relabeling) algorithm.
+// Algorithm is a vertex reordering (relabeling) algorithm. Reorder
+// computes the relabeling array for g (old ID → new ID) under ctx:
+// cancelable implementations return the valid partial permutation computed
+// so far together with an error wrapping runctl.ErrCanceled; context-free
+// implementations (adapted via Wrap/Legacy) ignore ctx and never fail.
 type Algorithm interface {
 	// Name returns a short identifier ("SB", "GO", "RO", ...).
 	Name() string
 	// Reorder computes the relabeling array for g (old ID → new ID).
-	Reorder(g *graph.Graph) graph.Permutation
+	Reorder(ctx context.Context, g *graph.Graph) (graph.Permutation, error)
 }
 
-// ContextAlgorithm is implemented by the heavy algorithms (SlashBurn,
-// GOrder, Rabbit-Order) whose long loops poll a cancellation checkpoint:
-// when ctx dies mid-run they return the permutation computed so far
-// together with an error wrapping runctl.ErrCanceled.
-type ContextAlgorithm interface {
-	Algorithm
-	ReorderContext(ctx context.Context, g *graph.Graph) (graph.Permutation, error)
+// ContextAlgorithm is the pre-redesign name for a cancelable algorithm.
+//
+// Deprecated: the Algorithm/ContextAlgorithm split is gone — every
+// Algorithm is context-first now. Use Algorithm.
+type ContextAlgorithm = Algorithm
+
+// ContextFree is a relabeling algorithm with no long-running loops and
+// therefore no cancellation points. Adapt one to Algorithm with Wrap.
+type ContextFree interface {
+	// Name returns a short identifier ("DegSort", "DBG", ...).
+	Name() string
+	// Relabel computes the relabeling array for g (old ID → new ID).
+	Relabel(g *graph.Graph) graph.Permutation
+}
+
+// Legacy adapts a context-free relabeling to the context-first Algorithm
+// interface: Reorder ignores ctx and never returns an error. Construct
+// with Wrap or as Legacy{ContextFree: impl}.
+type Legacy struct {
+	ContextFree
+}
+
+// Reorder implements Algorithm by delegating to the wrapped Relabel.
+func (l Legacy) Reorder(_ context.Context, g *graph.Graph) (graph.Permutation, error) {
+	return l.ContextFree.Relabel(g), nil
+}
+
+// Wrap adapts a context-free relabeling to the Algorithm interface.
+func Wrap(cf ContextFree) Algorithm { return Legacy{ContextFree: cf} }
+
+// Perm runs alg to completion with a background context and returns just
+// the permutation — a convenience for call sites that cannot be canceled.
+func Perm(alg Algorithm, g *graph.Graph) graph.Permutation {
+	perm, _ := alg.Reorder(context.Background(), g)
+	return perm
 }
 
 // Result captures one reordering run with the preprocessing-cost metrics
@@ -44,7 +91,8 @@ type Result struct {
 	Elapsed   time.Duration // preprocessing time
 	// AllocBytes is the total bytes allocated while reordering (a
 	// deterministic proxy for the paper's peak-footprint measurement; see
-	// DESIGN.md).
+	// DESIGN.md). It is a process-global delta, so it is only meaningful
+	// when nothing else allocates concurrently.
 	AllocBytes uint64
 }
 
@@ -55,20 +103,13 @@ func Run(alg Algorithm, g *graph.Graph) Result {
 }
 
 // RunContext executes alg on g under ctx, measuring preprocessing time and
-// allocation. Algorithms implementing ContextAlgorithm are cancelable;
-// others run to completion regardless of ctx. On cancellation the returned
-// Result carries the partial permutation alongside the error.
+// allocation. On cancellation the returned Result carries the partial
+// permutation alongside the error.
 func RunContext(ctx context.Context, alg Algorithm, g *graph.Graph) (Result, error) {
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	start := time.Now()
-	var perm graph.Permutation
-	var err error
-	if ca, ok := alg.(ContextAlgorithm); ok {
-		perm, err = ca.ReorderContext(ctx, g)
-	} else {
-		perm = alg.Reorder(g)
-	}
+	perm, err := alg.Reorder(ctx, g)
 	elapsed := time.Since(start)
 	runtime.ReadMemStats(&after)
 	return Result{
@@ -79,51 +120,47 @@ func RunContext(ctx context.Context, alg Algorithm, g *graph.Graph) (Result, err
 	}, err
 }
 
-// Registry returns the standard algorithm set by name. Unknown names
-// return an error listing the options.
-func Registry(name string, seed uint64) (Algorithm, error) {
-	switch name {
-	case "identity", "initial", "bl":
-		return Identity{}, nil
-	case "random":
-		return Random{Seed: seed}, nil
-	case "degsort", "degree":
-		return DegreeSort{}, nil
-	case "hubsort":
-		return HubSort{}, nil
-	case "hubcluster":
-		return HubCluster{}, nil
-	case "dbg":
-		return DBG{}, nil
-	case "rcm":
-		return RCM{}, nil
-	case "bfs":
-		return BFSOrder{}, nil
-	case "sb", "slashburn":
-		return NewSlashBurn(), nil
-	case "sb++", "slashburn++":
-		return NewSlashBurnPP(), nil
-	case "go", "gorder":
-		return NewGOrder(), nil
-	case "ro", "rabbit", "rabbitorder":
-		return NewRabbitOrder(), nil
-	case "hybrid", "ro+go":
-		return NewHybrid(), nil
-	default:
-		return nil, fmt.Errorf("reorder: unknown algorithm %q (want identity, random, degsort, hubsort, hubcluster, dbg, rcm, bfs, sb, sb++, go, ro, hybrid)", name)
-	}
+func init() {
+	MustRegister(Registration{
+		Name:    "identity",
+		Aliases: []string{"initial", "bl"},
+		New:     func(*Options) Algorithm { return Identity{} },
+	})
+	MustRegister(Registration{
+		Name:    "random",
+		Accepts: []string{OptSeed},
+		New:     func(o *Options) Algorithm { return Wrap(Random{Seed: o.Seed}) },
+	})
+	MustRegister(Registration{
+		Name:    "degsort",
+		Aliases: []string{"degree"},
+		New:     func(*Options) Algorithm { return Wrap(DegreeSort{}) },
+	})
+	MustRegister(Registration{
+		Name: "hubsort",
+		New:  func(*Options) Algorithm { return Wrap(HubSort{}) },
+	})
+	MustRegister(Registration{
+		Name: "hubcluster",
+		New:  func(*Options) Algorithm { return Wrap(HubCluster{}) },
+	})
+	MustRegister(Registration{
+		Name: "dbg",
+		New:  func(*Options) Algorithm { return Wrap(DBG{}) },
+	})
 }
 
 // Identity leaves the graph in its initial order (the paper's baseline
-// "Bl" / "Initial").
+// "Bl" / "Initial"). It implements Algorithm directly (rather than via
+// Legacy) so callers can recognise it by type and skip relabeling work.
 type Identity struct{}
 
 // Name implements Algorithm.
 func (Identity) Name() string { return "Initial" }
 
-// Reorder implements Algorithm.
-func (Identity) Reorder(g *graph.Graph) graph.Permutation {
-	return graph.Identity(g.NumVertices())
+// Reorder implements Algorithm; it cannot fail.
+func (Identity) Reorder(_ context.Context, g *graph.Graph) (graph.Permutation, error) {
+	return graph.Identity(g.NumVertices()), nil
 }
 
 // Random shuffles vertex IDs uniformly — the worst-case control that
@@ -132,11 +169,11 @@ type Random struct {
 	Seed uint64
 }
 
-// Name implements Algorithm.
+// Name implements ContextFree.
 func (Random) Name() string { return "Random" }
 
-// Reorder implements Algorithm.
-func (r Random) Reorder(g *graph.Graph) graph.Permutation {
+// Relabel implements ContextFree.
+func (r Random) Relabel(g *graph.Graph) graph.Permutation {
 	p := graph.Identity(g.NumVertices())
 	rng := splitmix{s: r.Seed}
 	for i := len(p) - 1; i > 0; i-- {
@@ -161,11 +198,11 @@ func (r *splitmix) next() uint64 {
 // representative "degree-ordering" family SlashBurn generalizes (§IV-A).
 type DegreeSort struct{}
 
-// Name implements Algorithm.
+// Name implements ContextFree.
 func (DegreeSort) Name() string { return "DegSort" }
 
-// Reorder implements Algorithm.
-func (DegreeSort) Reorder(g *graph.Graph) graph.Permutation {
+// Relabel implements ContextFree.
+func (DegreeSort) Relabel(g *graph.Graph) graph.Permutation {
 	order := graph.VerticesByDegreeDesc(g.TotalDegrees())
 	return orderToPerm(order)
 }
@@ -175,11 +212,11 @@ func (DegreeSort) Reorder(g *graph.Graph) graph.Permutation {
 // all other vertices in their original relative order.
 type HubSort struct{}
 
-// Name implements Algorithm.
+// Name implements ContextFree.
 func (HubSort) Name() string { return "HubSort" }
 
-// Reorder implements Algorithm.
-func (HubSort) Reorder(g *graph.Graph) graph.Permutation {
+// Relabel implements ContextFree.
+func (HubSort) Relabel(g *graph.Graph) graph.Permutation {
 	deg := g.TotalDegrees()
 	avg := g.AverageDegree() * 2 // total degree averages 2|E|/|V|
 	var hubs, rest []uint32
@@ -205,11 +242,11 @@ func (HubSort) Reorder(g *graph.Graph) graph.Permutation {
 // non-hubs — the sort-free lightweight variant.
 type HubCluster struct{}
 
-// Name implements Algorithm.
+// Name implements ContextFree.
 func (HubCluster) Name() string { return "HubCluster" }
 
-// Reorder implements Algorithm.
-func (HubCluster) Reorder(g *graph.Graph) graph.Permutation {
+// Relabel implements ContextFree.
+func (HubCluster) Relabel(g *graph.Graph) graph.Permutation {
 	deg := g.TotalDegrees()
 	avg := g.AverageDegree() * 2
 	var hubs, rest []uint32
@@ -228,11 +265,11 @@ func (HubCluster) Reorder(g *graph.Graph) graph.Permutation {
 // degree down, preserving original order within each class.
 type DBG struct{}
 
-// Name implements Algorithm.
+// Name implements ContextFree.
 func (DBG) Name() string { return "DBG" }
 
-// Reorder implements Algorithm.
-func (DBG) Reorder(g *graph.Graph) graph.Permutation {
+// Relabel implements ContextFree.
+func (DBG) Relabel(g *graph.Graph) graph.Permutation {
 	deg := g.TotalDegrees()
 	group := func(d uint32) int {
 		gid := 0

@@ -12,18 +12,18 @@ import (
 func allAlgorithms() []Algorithm {
 	return []Algorithm{
 		Identity{},
-		Random{Seed: 1},
-		DegreeSort{},
-		HubSort{},
-		HubCluster{},
-		DBG{},
-		RCM{},
-		BFSOrder{},
-		NewSlashBurn(),
-		NewSlashBurnPP(),
-		NewGOrder(),
-		NewRabbitOrder(),
-		NewRabbitOrderEDR(1, 100),
+		Wrap(Random{Seed: 1}),
+		Wrap(DegreeSort{}),
+		Wrap(HubSort{}),
+		Wrap(HubCluster{}),
+		Wrap(DBG{}),
+		Wrap(RCM{}),
+		Wrap(BFSOrder{}),
+		MustNew("sb"),
+		MustNew("sb++"),
+		MustNew("go"),
+		MustNew("ro"),
+		MustNew("ro", WithEDR(1, 100)),
 	}
 }
 
@@ -48,7 +48,7 @@ func testGraphs() map[string]*graph.Graph {
 func TestAllAlgorithmsProduceValidPermutations(t *testing.T) {
 	for gname, g := range testGraphs() {
 		for _, alg := range allAlgorithms() {
-			perm := alg.Reorder(g)
+			perm := Perm(alg, g)
 			if uint32(len(perm)) != g.NumVertices() {
 				t.Errorf("%s on %s: perm length %d, want %d", alg.Name(), gname, len(perm), g.NumVertices())
 				continue
@@ -64,8 +64,8 @@ func TestAllAlgorithmsProduceValidPermutations(t *testing.T) {
 func TestAllAlgorithmsDeterministic(t *testing.T) {
 	g := gen.RMAT(gen.DefaultRMAT(9, 8, 11))
 	for _, alg := range allAlgorithms() {
-		a := alg.Reorder(g)
-		b := alg.Reorder(g)
+		a := Perm(alg, g)
+		b := Perm(alg, g)
 		if !equalPerm(a, b) {
 			t.Errorf("%s is nondeterministic", alg.Name())
 		}
@@ -86,7 +86,7 @@ func equalPerm(a, b graph.Permutation) bool {
 
 func TestIdentity(t *testing.T) {
 	g := gen.Ring(10)
-	perm := Identity{}.Reorder(g)
+	perm := Perm(Identity{}, g)
 	for i, v := range perm {
 		if v != uint32(i) {
 			t.Fatal("identity is not identity")
@@ -96,8 +96,8 @@ func TestIdentity(t *testing.T) {
 
 func TestRandomSeedsDiffer(t *testing.T) {
 	g := gen.Ring(100)
-	a := Random{Seed: 1}.Reorder(g)
-	b := Random{Seed: 2}.Reorder(g)
+	a := Random{Seed: 1}.Relabel(g)
+	b := Random{Seed: 2}.Relabel(g)
 	if equalPerm(a, b) {
 		t.Error("different seeds produced the same shuffle")
 	}
@@ -105,7 +105,7 @@ func TestRandomSeedsDiffer(t *testing.T) {
 
 func TestDegreeSortOrdersByDegree(t *testing.T) {
 	g := gen.Star(50) // vertex 0 has the highest total degree
-	perm := DegreeSort{}.Reorder(g)
+	perm := DegreeSort{}.Relabel(g)
 	if perm[0] != 0 {
 		t.Errorf("star centre got new ID %d, want 0", perm[0])
 	}
@@ -121,7 +121,7 @@ func TestDegreeSortOrdersByDegree(t *testing.T) {
 
 func TestHubSortKeepsNonHubOrder(t *testing.T) {
 	g := gen.Star(50)
-	perm := HubSort{}.Reorder(g)
+	perm := HubSort{}.Relabel(g)
 	if perm[0] != 0 {
 		t.Errorf("hub got ID %d, want 0", perm[0])
 	}
@@ -145,7 +145,7 @@ func TestHubClusterKeepsRelativeOrders(t *testing.T) {
 		}
 	}
 	g := graph.FromEdges(10, edges)
-	perm := HubCluster{}.Reorder(g)
+	perm := HubCluster{}.Relabel(g)
 	if perm[3] != 0 || perm[7] != 1 {
 		t.Errorf("hubs got IDs %d,%d, want 0,1 in relative order", perm[3], perm[7])
 	}
@@ -153,7 +153,7 @@ func TestHubClusterKeepsRelativeOrders(t *testing.T) {
 
 func TestDBGGroupsByDegree(t *testing.T) {
 	g := gen.Star(100)
-	perm := DBG{}.Reorder(g)
+	perm := DBG{}.Relabel(g)
 	if perm[0] != 0 {
 		t.Errorf("highest-degree group should come first; centre got %d", perm[0])
 	}
@@ -178,8 +178,8 @@ func TestDBGGroupsByDegree(t *testing.T) {
 func TestRCMReducesBandwidth(t *testing.T) {
 	// A ring with scattered IDs: RCM should give a low-bandwidth chain.
 	g := gen.Ring(64)
-	scattered := g.Relabel(Random{Seed: 9}.Reorder(g))
-	perm := RCM{}.Reorder(scattered)
+	scattered := g.Relabel(Random{Seed: 9}.Relabel(g))
+	perm := RCM{}.Relabel(scattered)
 	h := scattered.Relabel(perm)
 	bandwidth := func(g *graph.Graph) uint32 {
 		var maxGap uint32
@@ -220,7 +220,7 @@ func TestRegistry(t *testing.T) {
 
 func TestRunMeasures(t *testing.T) {
 	g := gen.ErdosRenyi(500, 2000, 3)
-	res := Run(DegreeSort{}, g)
+	res := Run(Wrap(DegreeSort{}), g)
 	if res.Algorithm != "DegSort" {
 		t.Errorf("Algorithm = %q", res.Algorithm)
 	}
@@ -242,7 +242,7 @@ func TestPermutationValidityProperty(t *testing.T) {
 		alg := algs[int(algIdx)%len(algs)]
 		n := uint32(seed%100 + 1)
 		g := gen.ErdosRenyi(n, int(seed%300), seed)
-		perm := alg.Reorder(g)
+		perm := Perm(alg, g)
 		return uint32(len(perm)) == g.NumVertices() && perm.Validate() == nil
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"math"
 	"sort"
+	"sync"
 
 	"graphlocality/internal/graph"
 	"graphlocality/internal/runctl"
@@ -40,23 +41,48 @@ type SlashBurn struct {
 	// subgraph) of every vertex still in the GCC. Figure 2 of the paper is
 	// produced from these snapshots.
 	OnIteration func(iter int, gccDegrees []uint32)
-	// PollEvery is the cooperative-cancellation granularity of
-	// ReorderContext, in inner-loop steps (0 = runctl.DefaultPollInterval).
+	// PollEvery is the cooperative-cancellation granularity of Reorder,
+	// in inner-loop steps (0 = runctl.DefaultPollInterval).
 	PollEvery int
 
+	statMu         sync.Mutex // guards lastIterations
 	lastIterations int
 }
 
+func init() {
+	MustRegister(Registration{
+		Name:    "sb",
+		Aliases: []string{"slashburn"},
+		Accepts: []string{OptCacheBytes},
+		New: func(o *Options) Algorithm {
+			return &SlashBurn{KFraction: 0.02, CacheBytes: o.CacheBytes}
+		},
+	})
+	MustRegister(Registration{
+		Name:    "sb++",
+		Aliases: []string{"slashburn++"},
+		New: func(*Options) Algorithm {
+			return &SlashBurn{KFraction: 0.02, StopAtSqrtDegree: true}
+		},
+	})
+}
+
 // NewSlashBurn returns SlashBurn with the paper's parameters.
+//
+// Deprecated: use New("sb").
 func NewSlashBurn() *SlashBurn { return &SlashBurn{KFraction: 0.02} }
 
 // NewSlashBurnPP returns SlashBurn++ (early stopping at √|V| max degree).
+//
+// Deprecated: use New("sb++").
 func NewSlashBurnPP() *SlashBurn {
 	return &SlashBurn{KFraction: 0.02, StopAtSqrtDegree: true}
 }
 
 // NewSlashBurnCacheAware returns SlashBurn that stops once the assigned
 // hubs exceed the given cache capacity (§VIII-C).
+//
+// Deprecated: use New("sb", WithCacheBytes(cacheBytes)).
 func NewSlashBurnCacheAware(cacheBytes uint64) *SlashBurn {
 	return &SlashBurn{KFraction: 0.02, CacheBytes: cacheBytes}
 }
@@ -72,22 +98,25 @@ func (s *SlashBurn) Name() string {
 	return "SB"
 }
 
-// Iterations returns the number of iterations the last Reorder performed.
-func (s *SlashBurn) Iterations() int { return s.lastIterations }
-
-// lastIterations is recorded by Reorder for reporting (Table VII).
-// SlashBurn is not safe for concurrent use.
-
-// Reorder implements Algorithm.
-func (s *SlashBurn) Reorder(g *graph.Graph) graph.Permutation {
-	perm, _ := s.ReorderContext(context.Background(), g)
-	return perm
+// Iterations returns the number of iterations the last completed Reorder
+// performed (Table VII). Safe for concurrent use; with overlapping runs on
+// one instance the last writer wins.
+func (s *SlashBurn) Iterations() int {
+	s.statMu.Lock()
+	defer s.statMu.Unlock()
+	return s.lastIterations
 }
 
-// ReorderContext implements ContextAlgorithm: the per-iteration degree
-// sweep polls ctx every PollEvery vertices, so cancellation returns within
-// one poll interval with the partially filled permutation.
-func (s *SlashBurn) ReorderContext(ctx context.Context, g *graph.Graph) (graph.Permutation, error) {
+func (s *SlashBurn) setIterations(n int) {
+	s.statMu.Lock()
+	s.lastIterations = n
+	s.statMu.Unlock()
+}
+
+// Reorder implements Algorithm: the per-iteration degree sweep polls ctx
+// every PollEvery vertices, so cancellation returns within one poll
+// interval with the partially filled permutation.
+func (s *SlashBurn) Reorder(ctx context.Context, g *graph.Graph) (graph.Permutation, error) {
 	n := g.NumVertices()
 	perm := make(graph.Permutation, n)
 	if n == 0 {
@@ -136,7 +165,7 @@ func (s *SlashBurn) ReorderContext(ctx context.Context, g *graph.Graph) (graph.P
 						front++
 					}
 				}
-				s.lastIterations = iter
+				s.setIterations(iter)
 				return perm, err
 			}
 			deg[v] = 0
@@ -239,7 +268,7 @@ func (s *SlashBurn) ReorderContext(ctx context.Context, g *graph.Graph) (graph.P
 			s.OnIteration(iter, gccDeg)
 		}
 	}
-	s.lastIterations = iter
+	s.setIterations(iter)
 	return perm, nil
 }
 

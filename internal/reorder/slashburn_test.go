@@ -12,7 +12,7 @@ func TestSlashBurnHubsGetLowIDs(t *testing.T) {
 	// Star + tail: the centre is the unique strongest hub and must get
 	// ID 0 after the first slash.
 	g := gen.Star(200)
-	perm := NewSlashBurn().Reorder(g)
+	perm := Perm(NewSlashBurn(), g)
 	if perm[0] != 0 {
 		t.Errorf("star centre got ID %d, want 0", perm[0])
 	}
@@ -37,7 +37,7 @@ func TestSlashBurnSpokesGetHighIDs(t *testing.T) {
 	}
 	g := graph.FromEdges(45, edges)
 	sb := &SlashBurn{KFraction: 0.02} // k = 1: removes only vertex 0 first
-	perm := sb.Reorder(g)
+	perm := Perm(sb, g)
 	if err := perm.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +62,7 @@ func TestSlashBurnIterationTrace(t *testing.T) {
 		iters = append(iters, iter)
 		sizes = append(sizes, len(gccDegrees))
 	}
-	perm := sb.Reorder(g)
+	perm := Perm(sb, g)
 	if err := perm.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +101,7 @@ func TestSlashBurnGCCLosesPowerLaw(t *testing.T) {
 			}
 		}
 	}
-	sb.Reorder(g)
+	Perm(sb, g)
 	if lastMax == 0 {
 		t.Skip("graph exhausted before iteration 4")
 	}
@@ -113,9 +113,9 @@ func TestSlashBurnGCCLosesPowerLaw(t *testing.T) {
 func TestSlashBurnPPStopsEarlier(t *testing.T) {
 	g := gen.RMAT(gen.DefaultRMAT(11, 8, 13))
 	sb := NewSlashBurn()
-	sb.Reorder(g)
+	Perm(sb, g)
 	sbpp := NewSlashBurnPP()
-	sbpp.Reorder(g)
+	Perm(sbpp, g)
 	if sbpp.Iterations() > sb.Iterations() {
 		t.Errorf("SB++ ran %d iterations, SB ran %d — SB++ must not run longer",
 			sbpp.Iterations(), sb.Iterations())
@@ -130,7 +130,7 @@ func TestSlashBurnPPStopRule(t *testing.T) {
 	// < sqrt(1000).
 	g := gen.Ring(1000)
 	sbpp := NewSlashBurnPP()
-	perm := sbpp.Reorder(g)
+	perm := Perm(sbpp, g)
 	if err := perm.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +145,7 @@ func TestSlashBurnPPStopRule(t *testing.T) {
 func TestSlashBurnMaxIterations(t *testing.T) {
 	g := gen.RMAT(gen.DefaultRMAT(10, 8, 17))
 	sb := &SlashBurn{KFraction: 0.001, MaxIterations: 3}
-	perm := sb.Reorder(g)
+	perm := Perm(sb, g)
 	if err := perm.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +157,7 @@ func TestSlashBurnMaxIterations(t *testing.T) {
 func TestSlashBurnTinyGraphs(t *testing.T) {
 	for _, n := range []uint32{0, 1, 2, 3} {
 		g := gen.Ring(n)
-		perm := NewSlashBurn().Reorder(g)
+		perm := Perm(NewSlashBurn(), g)
 		if uint32(len(perm)) != n {
 			t.Fatalf("n=%d: perm length %d", n, len(perm))
 		}

@@ -61,6 +61,21 @@ func RunUntil(g *graph.Graph, l Layout, dir Direction, sink BoundedSink) bool {
 	}
 }
 
+// RunRange generates exactly the sub-stream of accesses Run emits while
+// processing the vertices in [r.Lo, r.Hi), in the same order. Concatenating
+// the streams of a partition of [0, |V|) reproduces Run's stream exactly;
+// sharded analyses use it to split a trace scan across goroutines.
+func RunRange(g *graph.Graph, l Layout, dir Direction, r graph.Range, sink Sink) {
+	gen := newVertexIter(g, l, dir, r)
+	for {
+		a, ok := gen.next()
+		if !ok {
+			return
+		}
+		sink(a)
+	}
+}
+
 // RunParallel emulates the paper's parallel simulation (§V-B): the vertex
 // set is split into `threads` edge-balanced partitions, each partition
 // produces its own program-order access stream, and execution is divided
