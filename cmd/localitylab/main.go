@@ -32,6 +32,7 @@ import (
 	"graphlocality/internal/expt"
 	"graphlocality/internal/gen"
 	"graphlocality/internal/graph"
+	"graphlocality/internal/obs"
 	"graphlocality/internal/reorder"
 	"graphlocality/internal/runctl"
 	"graphlocality/internal/spmv"
@@ -78,6 +79,8 @@ func main() {
 		err = cmdIHTL(os.Args[2:])
 	case "experiment":
 		err = cmdExperiment(os.Args[2:])
+	case "obs":
+		err = cmdObs(os.Args[2:])
 	case "bench":
 		err = cmdBench(os.Args[2:])
 	case "help", "-h", "--help":
@@ -146,6 +149,7 @@ Commands:
   ihtl        build iHTL flipped blocks and compare misses vs plain pull
   experiment  regenerate a paper table or figure (table1..table7,
               fig1..fig6, edr, gap, ihtl, hybrid, hilbert, utilization, all)
+  obs         inspect run manifests: obs show <m.json>, obs diff <a> <b>
   bench       time a representative experiment grid serial vs parallel and
               write BENCH_parallel.json`)
 }
@@ -494,6 +498,10 @@ func cmdExperiment(args []string) error {
 	heartbeat := fs.Duration("heartbeat", 0, "emit stage progress heartbeats to stderr at this interval (0 = off)")
 	parallel := fs.Int("parallel", runtime.NumCPU(),
 		"grid cells to run concurrently (1 = serial, byte-identical to the pre-scheduler output)")
+	manifestPath := fs.String("manifest", "", "write a JSON run manifest (stages, counters, timings) to this path")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this path")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this path at exit")
+	httpProf := fs.String("httpprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	// The experiment id is the first non-flag argument.
 	var id string
 	if len(args) > 0 && args[0][0] != '-' {
@@ -522,9 +530,26 @@ func cmdExperiment(args []string) error {
 		ctx, cancel = context.WithTimeout(ctx, *totalTimeout)
 		defer cancel()
 	}
+	prof, err := startProfiler(*cpuProfile, *memProfile, *httpProf)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			fmt.Fprintf(os.Stderr, "localitylab: profiling: %v\n", err)
+		}
+	}()
+
+	// One registry collects the whole run: the controller records stage
+	// spans and retry/panic counters into it, the session attaches work
+	// facts (events, bytes) to the same spans.
+	reg := obs.NewRegistry()
+	started := time.Now()
+
 	cfg := runctl.Config{
 		StageTimeout: *stageTimeout,
 		Heartbeat:    *heartbeat,
+		Metrics:      reg,
 	}
 	if *heartbeat > 0 {
 		cfg.OnEvent = func(ev runctl.Event) {
@@ -544,6 +569,7 @@ func cmdExperiment(args []string) error {
 	s.CacheDir = *cacheDir
 	s.Resume = *resume
 	s.Parallel = *parallel
+	s.Obs = reg
 	ds := expt.Suite(size)
 	if *graphsFlag != "" {
 		ds = nil
@@ -691,6 +717,20 @@ func cmdExperiment(args []string) error {
 	finish := func() error {
 		for stage, reason := range s.DegradedStages() {
 			fmt.Fprintf(os.Stderr, "localitylab: stage %s degraded to Initial: %s\n", stage, reason)
+		}
+		if *manifestPath != "" {
+			m := reg.Manifest(obs.Meta{
+				Tool:       "localitylab",
+				Command:    "experiment " + id,
+				StartedAt:  started.UTC().Format(time.RFC3339),
+				Parallel:   *parallel,
+				GoMaxProcs: runtime.GOMAXPROCS(0),
+				WallMS:     float64(time.Since(started).Microseconds()) / 1000,
+			})
+			if err := obs.WriteManifestFile(*manifestPath, m); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "localitylab: wrote run manifest %s\n", *manifestPath)
 		}
 		// A dead root context (SIGINT or -timeout) trumps the partial output:
 		// report the interruption so main exits 130.

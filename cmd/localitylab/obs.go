@@ -1,0 +1,53 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"graphlocality/internal/obs"
+)
+
+// cmdObs inspects run manifests written by `experiment -manifest`:
+//
+//	localitylab obs show run.json     pretty-print one manifest
+//	localitylab obs diff a.json b.json  compare two runs
+//
+// diff separates deterministic facts (counters, span calls/events/bytes,
+// histogram counts) from timing measurements: fact drift means the two runs
+// did different work and exits 1; timing deltas are informational.
+func cmdObs(args []string) error {
+	if len(args) < 1 {
+		return usagef("obs subcommand required: show <manifest>, diff <a> <b>")
+	}
+	switch args[0] {
+	case "show":
+		if len(args) != 2 {
+			return usagef("usage: obs show <manifest.json>")
+		}
+		m, err := obs.ReadManifestFile(args[1])
+		if err != nil {
+			return err
+		}
+		return m.Render(os.Stdout)
+	case "diff":
+		if len(args) != 3 {
+			return usagef("usage: obs diff <a.json> <b.json>")
+		}
+		a, err := obs.ReadManifestFile(args[1])
+		if err != nil {
+			return err
+		}
+		b, err := obs.ReadManifestFile(args[2])
+		if err != nil {
+			return err
+		}
+		d := obs.Diff(a, b)
+		d.Render(os.Stdout)
+		if !d.Clean() {
+			return fmt.Errorf("manifests drift: %d deterministic fact(s) differ", len(d.Drift))
+		}
+		return nil
+	default:
+		return usagef("unknown obs subcommand %q (want show or diff)", args[0])
+	}
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux (opt-in server below)
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// profiler owns the opt-in pprof outputs of one command: a CPU profile
+// running for the command's lifetime, a heap profile written at exit, and
+// an HTTP server exposing /debug/pprof for live inspection of long runs.
+// All three are off unless their flag is set, so profiling never perturbs
+// ordinary measurement runs.
+type profiler struct {
+	cpuFile *os.File
+	memPath string
+}
+
+// startProfiler starts whichever profile sinks are configured. The HTTP
+// server runs on a background goroutine for the rest of the process — a
+// bind failure is reported to stderr but does not fail the run.
+func startProfiler(cpuPath, memPath, httpAddr string) (*profiler, error) {
+	p := &profiler{memPath: memPath}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		p.cpuFile = f
+	}
+	if httpAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(httpAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "localitylab: pprof server: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "localitylab: pprof server on http://%s/debug/pprof\n", httpAddr)
+	}
+	return p, nil
+}
+
+// Stop flushes the CPU profile and writes the heap profile. Safe on nil.
+func (p *profiler) Stop() error {
+	if p == nil {
+		return nil
+	}
+	var firstErr error
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpuFile.Close(); err != nil {
+			firstErr = err
+		}
+		p.cpuFile = nil
+	}
+	if p.memPath != "" {
+		f, err := os.Create(p.memPath)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			return firstErr
+		}
+		defer f.Close()
+		runtime.GC() // materialize up-to-date heap statistics
+		if err := pprof.WriteHeapProfile(f); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -13,6 +13,8 @@ package cachesim
 import (
 	"fmt"
 	"math/bits"
+
+	"graphlocality/internal/obs"
 )
 
 // Policy selects the replacement policy of a Cache.
@@ -112,6 +114,19 @@ func (s Stats) MissRate() float64 {
 		return 0
 	}
 	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Record folds the counters into rec under prefix (e.g. "sim.l3"). The
+// simulator's hot path keeps its plain per-instance counters; stages fold
+// the totals atomically once per simulation, which keeps manifest totals
+// deterministic under the parallel scheduler.
+func (s Stats) Record(rec obs.Recorder, prefix string) {
+	rec.Counter(prefix + ".accesses").Add(s.Accesses)
+	rec.Counter(prefix + ".hits").Add(s.Hits)
+	rec.Counter(prefix + ".misses").Add(s.Misses)
+	rec.Counter(prefix + ".evictions").Add(s.Evictions)
+	rec.Counter(prefix + ".writebacks").Add(s.Writebacks)
+	rec.Counter(prefix + ".prefetches").Add(s.Prefetches)
 }
 
 // Cache is a set-associative cache simulator. Not safe for concurrent use.

@@ -59,6 +59,12 @@ type SimResult struct {
 	DestAccesses []uint32
 	DestMisses   []uint32
 
+	// BytesTouched sums the element sizes of every simulated access — the
+	// deterministic bytes-processed figure the observability manifests
+	// report per simulate stage (partial on cancellation, like the
+	// counters).
+	BytesTouched uint64
+
 	// ECS is the average percentage of cache capacity holding old
 	// vertex-data lines over all snapshots (only when SnapshotEvery > 0).
 	ECS float64
@@ -99,7 +105,7 @@ func SimulateSpMV(g *graph.Graph, opts SimOptions) SimResult {
 
 	totalLines := float64(opts.Cache.Sets * opts.Cache.Ways)
 	var ecsSum float64
-	var accesses uint64
+	var accesses, bytesTouched uint64
 	poll := runctl.NewPoller(opts.Ctx, opts.PollEvery)
 
 	sink := func(a trace.Access) bool {
@@ -121,6 +127,7 @@ func SimulateSpMV(g *graph.Graph, opts SimOptions) SimResult {
 			}
 		}
 		accesses++
+		bytesTouched += a.Bytes()
 		if opts.SnapshotEvery > 0 && accesses%uint64(opts.SnapshotEvery) == 0 {
 			var dataLines int
 			cache.Snapshot(func(line uint64) {
@@ -141,6 +148,7 @@ func SimulateSpMV(g *graph.Graph, opts SimOptions) SimResult {
 	}
 
 	res.Cache = cache.Stats()
+	res.BytesTouched = bytesTouched
 	if tlb != nil {
 		res.TLB = tlb.Stats()
 	}

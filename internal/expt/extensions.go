@@ -30,7 +30,7 @@ type IHTLRow struct {
 // IHTLExperiment measures §VIII-A: flipped blocks against reordering.
 // Each dataset is one scheduler cell.
 func IHTLExperiment(s *Session, datasets []Dataset) []IHTLRow {
-	return mapIndexed(s.parallelism(), len(datasets), func(i int) IHTLRow {
+	return mapCells(s, len(datasets), func(i int) IHTLRow {
 		ds := datasets[i]
 		g := s.Graph(ds)
 		cfg := s.CacheFor(ds)
@@ -79,7 +79,7 @@ type HybridRow struct {
 // whose cache-aware parameters depend on the dataset) is one scheduler
 // cell.
 func HybridExperiment(s *Session, datasets []Dataset) []HybridRow {
-	perDS := mapIndexed(s.parallelism(), len(datasets), func(i int) []HybridRow {
+	perDS := mapCells(s, len(datasets), func(i int) []HybridRow {
 		ds := datasets[i]
 		cacheBytes := uint64(s.CacheFor(ds).SizeBytes())
 		algs := []reorder.Algorithm{
@@ -135,7 +135,7 @@ type UtilizationRow struct {
 // (see core.LineUtilizationParallel for the boundary caveat).
 func UtilizationExperiment(s *Session, datasets []Dataset, algs []reorder.Algorithm) []UtilizationRow {
 	cells := grid(datasets, algs)
-	return mapIndexed(s.parallelism(), len(cells), func(i int) UtilizationRow {
+	return mapCells(s, len(cells), func(i int) UtilizationRow {
 		c := cells[i]
 		cfg := s.CacheFor(c.ds)
 		g := s.Relabeled(c.ds, c.alg)
@@ -172,7 +172,7 @@ type HilbertRow struct {
 // HilbertExperiment measures the §IX-A space-filling-curve baseline.
 // Each dataset is one scheduler cell.
 func HilbertExperiment(s *Session, datasets []Dataset) []HilbertRow {
-	return mapIndexed(s.parallelism(), len(datasets), func(i int) HilbertRow {
+	return mapCells(s, len(datasets), func(i int) HilbertRow {
 		ds := datasets[i]
 		g := s.Graph(ds)
 		cfg := s.CacheFor(ds)

@@ -30,7 +30,7 @@ type Series struct {
 // a cell is sharded across vertex ranges (exact at any shard count: the
 // per-bin sums are integer miss counts).
 func Fig1(s *Session, ds Dataset, algs []reorder.Algorithm) []Series {
-	return mapIndexed(s.parallelism(), len(algs), func(i int) Series {
+	return mapCells(s, len(algs), func(i int) Series {
 		alg := algs[i]
 		sim := s.Simulate(ds, alg, core.SimOptions{PerVertex: true})
 		g := s.Relabeled(ds, alg)
@@ -311,7 +311,7 @@ func EDRExperiment(s *Session, datasets []Dataset) []EDRRow {
 		rFull, rEDR     reorder.Result
 		simFull, simEDR core.SimResult
 	}
-	outs := mapIndexed(s.parallelism(), len(datasets), func(i int) dsOut {
+	outs := mapCells(s, len(datasets), func(i int) dsOut {
 		ds := datasets[i]
 		g := s.Graph(ds)
 		hub := uint32(g.HubThreshold())

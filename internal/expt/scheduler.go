@@ -67,6 +67,15 @@ func mapIndexed[T any](parallel, n int, fn func(int) T) []T {
 	return out
 }
 
+// mapCells is mapIndexed with the session's worker budget and scheduler
+// observability: every scheduled work item bumps the "expt.cells" counter,
+// a deterministic fact — the same grid is enumerated whatever the
+// parallelism, so serial and parallel manifests agree on it.
+func mapCells[T any](s *Session, n int, fn func(int) T) []T {
+	s.rec().Counter("expt.cells").Add(uint64(n))
+	return mapIndexed(s.parallelism(), n, fn)
+}
+
 // gridCell is one (dataset, algorithm) cell of an experiment grid, carrying
 // its grid position so per-cell results reassemble in row-major order.
 type gridCell struct {

@@ -11,6 +11,7 @@ import (
 	"graphlocality/internal/cachesim"
 	"graphlocality/internal/core"
 	"graphlocality/internal/graph"
+	"graphlocality/internal/obs"
 	"graphlocality/internal/reorder"
 	"graphlocality/internal/runctl"
 	"graphlocality/internal/spmv"
@@ -99,6 +100,13 @@ type Session struct {
 	// Resume makes Reorder load checkpoints from CacheDir instead of
 	// recomputing.
 	Resume bool
+	// Obs receives the session's observability stream: deterministic
+	// counters and span facts (cells scheduled, simulated accesses, bytes
+	// touched) alongside timing measurements. Nil disables recording. Pass
+	// the same recorder as runctl.Config.Metrics so stage spans also carry
+	// wall-clock; the session only attaches events/bytes to those spans,
+	// never wall, so nothing is double-timed.
+	Obs obs.Recorder
 
 	graphs    memo[*graph.Graph]
 	reorders  memo[reorder.Result]
@@ -128,7 +136,7 @@ func (s *Session) controller() *runctl.Controller {
 	s.stateMu.Lock()
 	defer s.stateMu.Unlock()
 	if s.Ctrl == nil {
-		s.Ctrl = runctl.New(context.Background(), runctl.Config{})
+		s.Ctrl = runctl.New(context.Background(), runctl.Config{Metrics: s.Obs})
 	}
 	return s.Ctrl
 }
@@ -208,9 +216,19 @@ func (s *Session) EngineThreads() int {
 	return s.Threads
 }
 
+// rec returns the session recorder, mapping nil to the no-op recorder.
+func (s *Session) rec() obs.Recorder { return obs.Of(s.Obs) }
+
 // Graph returns the memoized graph of ds.
 func (s *Session) Graph(ds Dataset) *graph.Graph {
-	return s.graphs.Do(ds.Name, func() *graph.Graph { return ds.Build() })
+	return s.graphs.Do(ds.Name, func() *graph.Graph {
+		start := time.Now()
+		g := ds.Build()
+		sp := s.rec().Span("graph/" + ds.Name)
+		sp.AddEvents(g.NumEdges())
+		sp.Done(start)
+		return g
+	})
 }
 
 // Reorder returns the memoized reordering result of alg on ds. The
@@ -227,6 +245,7 @@ func (s *Session) Reorder(ds Dataset, alg reorder.Algorithm) reorder.Result {
 		if s.Resume && s.CacheDir != "" {
 			if r, err := LoadPermCheckpoint(s.CacheDir, ds.Name, alg.Name(), g.NumVertices()); err == nil {
 				s.setRestored(key)
+				s.rec().Counter("expt.checkpoint_restores").Inc()
 				return r
 			}
 		}
@@ -248,10 +267,21 @@ func (s *Session) Reorder(ds Dataset, alg reorder.Algorithm) reorder.Result {
 			// rather than killing the run and discarding sibling results.
 			res = reorder.Result{Algorithm: alg.Name(), Perm: graph.Identity(g.NumVertices())}
 			s.setDegraded(key, degradeReason(err))
-		} else if s.CacheDir != "" {
-			// Best-effort write-through checkpoint; a failed write must not
-			// fail the experiment.
-			_ = SavePermCheckpoint(s.CacheDir, ds.Name, alg.Name(), res)
+			s.rec().Counter("expt.degraded_stages").Inc()
+		} else {
+			// The stage span (wall recorded by runctl) gets the deterministic
+			// facts: vertices permuted, permutation bytes produced. Allocator
+			// traffic is nondeterministic, so it goes in a histogram where
+			// only the observation count survives manifest normalization.
+			sp := s.rec().Span(stage)
+			sp.AddEvents(uint64(len(res.Perm)))
+			sp.AddBytes(4 * uint64(len(res.Perm)))
+			s.rec().Histogram("reorder.alloc_bytes").Observe(float64(res.AllocBytes))
+			if s.CacheDir != "" {
+				// Best-effort write-through checkpoint; a failed write must not
+				// fail the experiment.
+				_ = SavePermCheckpoint(s.CacheDir, ds.Name, alg.Name(), res)
+			}
 		}
 		return res
 	})
@@ -292,7 +322,12 @@ func (s *Session) Relabeled(ds Dataset, alg reorder.Algorithm) *graph.Graph {
 		return s.Graph(ds)
 	}
 	return s.relabeled.Do(key, func() *graph.Graph {
-		return s.Graph(ds).Relabel(r.Perm)
+		start := time.Now()
+		rg := s.Graph(ds).Relabel(r.Perm)
+		sp := s.rec().Span("relabel/" + key)
+		sp.AddEvents(uint64(rg.NumVertices()))
+		sp.Done(start)
+		return rg
 	})
 }
 
@@ -336,6 +371,15 @@ func (s *Session) Simulate(ds Dataset, alg reorder.Algorithm, opts core.SimOptio
 	})
 	if err != nil {
 		res.Canceled = true
+	} else {
+		rec := s.rec()
+		sp := rec.Span(stage)
+		sp.AddEvents(res.Cache.Accesses)
+		sp.AddBytes(res.BytesTouched)
+		res.Cache.Record(rec, "sim.cache")
+		if opts.TLB != nil {
+			res.TLB.Record(rec, "sim.tlb")
+		}
 	}
 	return res
 }
@@ -350,6 +394,7 @@ func (s *Session) TimeTraversal(ds Dataset, alg reorder.Algorithm, dir trace.Dir
 	g := s.Relabeled(ds, alg)
 	ctx := s.controller().Context()
 	e := spmv.New(g, s.EngineThreads())
+	e.Metrics = s.Obs
 	n := g.NumVertices()
 	src := make([]float64, n)
 	dst := make([]float64, n)

@@ -88,7 +88,7 @@ func TableII(s *Session, datasets []Dataset, algs []reorder.Algorithm) []TableII
 		work = append(work, alg)
 	}
 	cells := grid(datasets, work)
-	return mapIndexed(s.parallelism(), len(cells), func(i int) TableIIRow {
+	return mapCells(s, len(cells), func(i int) TableIIRow {
 		c := cells[i]
 		r := s.Reorder(c.ds, c.alg)
 		reason, deg := s.Degraded(c.ds, c.alg)
@@ -148,7 +148,7 @@ func TableIII(s *Session, datasets []Dataset, algs []reorder.Algorithm) []TableI
 		degrees []uint32
 	}
 	cells := grid(datasets, algs)
-	outs := mapIndexed(s.parallelism(), len(cells), func(i int) cellOut {
+	outs := mapCells(s, len(cells), func(i int) cellOut {
 		c := cells[i]
 		return cellOut{
 			sim:     s.Simulate(c.ds, c.alg, core.SimOptions{PerVertex: true}),
@@ -221,7 +221,7 @@ type TableIVRow struct {
 // serially in grid order so contention never skews the reported times.
 func TableIV(s *Session, datasets []Dataset, algs []reorder.Algorithm) []TableIVRow {
 	cells := grid(datasets, algs)
-	sims := mapIndexed(s.parallelism(), len(cells), func(i int) core.SimResult {
+	sims := mapCells(s, len(cells), func(i int) core.SimResult {
 		c := cells[i]
 		tlb := s.TLBFor(c.ds)
 		return s.Simulate(c.ds, c.alg, core.SimOptions{TLB: &tlb})
@@ -280,7 +280,7 @@ type TableVRow struct {
 // scheduler; rows come back in grid order.
 func TableV(s *Session, datasets []Dataset, algs []reorder.Algorithm) []TableVRow {
 	cells := grid(datasets, algs)
-	return mapIndexed(s.parallelism(), len(cells), func(i int) TableVRow {
+	return mapCells(s, len(cells), func(i int) TableVRow {
 		c := cells[i]
 		every := int(trace.CountAccesses(s.Graph(c.ds)) / 200)
 		if every < 1 {
@@ -326,7 +326,7 @@ type TableVIRow struct {
 func TableVI(s *Session, datasets []Dataset) []TableVIRow {
 	id := reorder.Identity{}
 	type dsSims struct{ csc, csr core.SimResult }
-	sims := mapIndexed(s.parallelism(), len(datasets), func(i int) dsSims {
+	sims := mapCells(s, len(datasets), func(i int) dsSims {
 		ds := datasets[i]
 		return dsSims{
 			csc: s.Simulate(ds, id, core.SimOptions{Direction: trace.Pull}),
@@ -389,7 +389,7 @@ func TableVII(s *Session, datasets []Dataset) []TableVIIRow {
 		itSB, itPP   int
 		simSB, simPP core.SimResult
 	}
-	outs := mapIndexed(s.parallelism(), len(datasets), func(i int) dsOut {
+	outs := mapCells(s, len(datasets), func(i int) dsOut {
 		ds := datasets[i]
 		// Run fresh instances directly (not via the session memo) so the
 		// iteration counters belong to these runs, then seed the memo so

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"text/tabwriter"
+)
+
+// Diffing two manifests is the one-command perf-regression check: count
+// drift (different deterministic work) is a correctness signal, timing
+// drift (same work, different wall clock) is a performance signal, and the
+// two are reported separately so neither masks the other.
+
+// DriftEntry is one deterministic-fact difference between two manifests.
+type DriftEntry struct {
+	// Key identifies the fact: "counter:sim.accesses",
+	// "span:reorder/TwtrS/GO:events", "histogram:spmv.traversal_ms:count".
+	Key  string
+	A, B uint64
+}
+
+// TimingEntry is one measurement difference between two manifests.
+type TimingEntry struct {
+	Key  string
+	A, B float64 // milliseconds (or the gauge's unit)
+}
+
+// DiffReport is the comparison of two manifests.
+type DiffReport struct {
+	// Drift lists deterministic facts that differ — real work drift.
+	Drift []DriftEntry
+	// Timing lists wall-clock and gauge deltas — performance drift.
+	Timing []TimingEntry
+}
+
+// Clean reports whether the two manifests describe identical work (no
+// count drift; timing deltas are expected and ignored).
+func (d DiffReport) Clean() bool { return len(d.Drift) == 0 }
+
+// Diff compares two manifests: every counter, span fact and histogram
+// count that differs (including keys present on only one side) lands in
+// Drift; wall-clock fields and gauges land in Timing.
+func Diff(a, b Manifest) DiffReport {
+	var d DiffReport
+
+	counts := func(kind string, am, bm map[string]uint64) {
+		for _, k := range sortedKeys(union(am, bm)) {
+			if am[k] != bm[k] {
+				d.Drift = append(d.Drift, DriftEntry{Key: kind + ":" + k, A: am[k], B: bm[k]})
+			}
+		}
+	}
+	counts("counter", a.Counters, b.Counters)
+
+	histCounts := func(m map[string]HistogramRecord) map[string]uint64 {
+		out := make(map[string]uint64, len(m))
+		for k, h := range m {
+			out[k] = h.Count
+		}
+		return out
+	}
+	counts("histogram", histCounts(a.Histograms), histCounts(b.Histograms))
+
+	aSpans, bSpans := spanIndex(a.Spans), spanIndex(b.Spans)
+	for _, name := range sortedKeys(union(aSpans, bSpans)) {
+		sa, sb := aSpans[name], bSpans[name]
+		for _, f := range []struct {
+			field  string
+			av, bv uint64
+		}{
+			{"calls", sa.Calls, sb.Calls},
+			{"events", sa.Events, sb.Events},
+			{"bytes", sa.Bytes, sb.Bytes},
+		} {
+			if f.av != f.bv {
+				d.Drift = append(d.Drift, DriftEntry{
+					Key: "span:" + name + ":" + f.field, A: f.av, B: f.bv,
+				})
+			}
+		}
+		if sa.WallMS != sb.WallMS {
+			d.Timing = append(d.Timing, TimingEntry{Key: "span:" + name + ":wall_ms", A: sa.WallMS, B: sb.WallMS})
+		}
+	}
+
+	if a.WallMS != b.WallMS {
+		d.Timing = append(d.Timing, TimingEntry{Key: "wall_ms", A: a.WallMS, B: b.WallMS})
+	}
+	gauges := union(a.Gauges, b.Gauges)
+	for _, k := range sortedKeys(gauges) {
+		if a.Gauges[k] != b.Gauges[k] {
+			d.Timing = append(d.Timing, TimingEntry{Key: "gauge:" + k, A: a.Gauges[k], B: b.Gauges[k]})
+		}
+	}
+	return d
+}
+
+func spanIndex(spans []SpanRecord) map[string]SpanRecord {
+	out := make(map[string]SpanRecord, len(spans))
+	for _, s := range spans {
+		out[s.Name] = s
+	}
+	return out
+}
+
+func union[VA, VB any](a map[string]VA, b map[string]VB) map[string]struct{} {
+	u := make(map[string]struct{}, len(a)+len(b))
+	for k := range a {
+		u[k] = struct{}{}
+	}
+	for k := range b {
+		u[k] = struct{}{}
+	}
+	return u
+}
+
+// Render pretty-prints the report: drift first (the alarming part), then
+// timing deltas with relative change.
+func (d DiffReport) Render(w io.Writer) {
+	if d.Clean() {
+		fmt.Fprintln(w, "no event/count drift: both manifests describe identical work")
+	} else {
+		fmt.Fprintf(w, "COUNT DRIFT: %d deterministic fact(s) differ\n", len(d.Drift))
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "  key\ta\tb\tdelta")
+		for _, e := range d.Drift {
+			fmt.Fprintf(tw, "  %s\t%d\t%d\t%+d\n", e.Key, e.A, e.B, int64(e.B)-int64(e.A))
+		}
+		tw.Flush()
+	}
+	if len(d.Timing) > 0 {
+		fmt.Fprintf(w, "timing deltas (%d):\n", len(d.Timing))
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "  key\ta\tb\tratio")
+		for _, e := range d.Timing {
+			ratio := "-"
+			if e.A != 0 && !math.IsNaN(e.B/e.A) {
+				ratio = fmt.Sprintf("%.2fx", e.B/e.A)
+			}
+			fmt.Fprintf(tw, "  %s\t%.2f\t%.2f\t%s\n", e.Key, e.A, e.B, ratio)
+		}
+		tw.Flush()
+	}
+}

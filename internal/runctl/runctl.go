@@ -15,8 +15,9 @@
 //   - a heartbeat event fires periodically while a stage runs, so a hung
 //     stage is detectable from the outside.
 //
-// The package depends only on the standard library so every layer of the
-// repo (reorder, core, spmv, expt, cmd) can use it without cycles.
+// The package depends only on the standard library and the (stdlib-only)
+// obs metrics layer, so every layer of the repo (reorder, core, spmv,
+// expt, cmd) can use it without cycles.
 package runctl
 
 import (
@@ -26,6 +27,8 @@ import (
 	"runtime/debug"
 	"sync"
 	"time"
+
+	"graphlocality/internal/obs"
 )
 
 // ErrCanceled is returned (possibly wrapped) by cooperative loops that
@@ -130,6 +133,11 @@ type Config struct {
 	// OnEvent receives lifecycle and heartbeat events (may be nil). It is
 	// called from the controller's goroutines and must be fast.
 	OnEvent func(Event)
+	// Metrics receives the controller's counters (stage runs, retries,
+	// panics, failures) and per-stage wall-clock spans. Nil disables
+	// recording (the no-op path costs one nil check per stage, not per
+	// loop iteration).
+	Metrics obs.Recorder
 	// Sleep replaces the inter-attempt sleep (tests inject a recorder to
 	// make the backoff schedule deterministic). The default honours ctx.
 	Sleep func(ctx context.Context, d time.Duration) error
@@ -184,6 +192,11 @@ func Backoff(cfg Config, attempts int) []time.Duration {
 type Controller struct {
 	ctx context.Context
 	cfg Config
+	rec obs.Recorder
+
+	// Counters are hoisted once here so the per-stage cost of disabled
+	// observability is a nil check, not a map lookup.
+	stageRuns, stageRetries, stagePanics, stageFailures *obs.Counter
 
 	mu     sync.Mutex
 	active map[string]time.Time // stage -> attempt start
@@ -194,7 +207,15 @@ func New(ctx context.Context, cfg Config) *Controller {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return &Controller{ctx: ctx, cfg: cfg.withDefaults(), active: make(map[string]time.Time)}
+	rec := obs.Of(cfg.Metrics)
+	return &Controller{
+		ctx: ctx, cfg: cfg.withDefaults(), active: make(map[string]time.Time),
+		rec:           rec,
+		stageRuns:     rec.Counter("runctl.stage_runs"),
+		stageRetries:  rec.Counter("runctl.stage_retries"),
+		stagePanics:   rec.Counter("runctl.stage_panics"),
+		stageFailures: rec.Counter("runctl.stage_failures"),
+	}
 }
 
 // Context returns the controller's root context.
@@ -244,9 +265,13 @@ func (c *Controller) Run(stage string, fn func(ctx context.Context) error) error
 		retryable := IsTransient(err)
 		if se := new(StageError); errors.As(err, &se) {
 			retryable = false // panics are never retried
+			if se.Panicked() {
+				c.stagePanics.Inc()
+			}
 		}
 		if retryable && attempt < c.cfg.MaxAttempts {
 			backoff := Backoff(c.cfg, attempt+1)[attempt-1]
+			c.stageRetries.Inc()
 			c.emit(Event{Kind: EventRetry, Stage: stage, Attempt: attempt, Backoff: backoff, Err: err})
 			if serr := c.cfg.Sleep(c.ctx, backoff); serr != nil {
 				return serr
@@ -258,6 +283,7 @@ func (c *Controller) Run(stage string, fn func(ctx context.Context) error) error
 			se = &StageError{Stage: stage, Err: err}
 		}
 		se.Attempts = attempt
+		c.stageFailures.Inc()
 		c.emit(Event{Kind: EventDone, Stage: stage, Attempt: attempt, Err: se})
 		return se
 	}
@@ -276,10 +302,17 @@ func (c *Controller) attempt(stage string, attempt int, fn func(ctx context.Cont
 	c.mu.Lock()
 	c.active[stage] = start
 	c.mu.Unlock()
+	// Registered before the recover defer (LIFO), so by the time this runs
+	// the panic — if any — has already been folded into err: only genuinely
+	// successful attempts land in the span.
 	defer func() {
 		c.mu.Lock()
 		delete(c.active, stage)
 		c.mu.Unlock()
+		if err == nil {
+			c.rec.Span(stage).Done(start)
+			c.stageRuns.Inc()
+		}
 	}()
 	c.emit(Event{Kind: EventStart, Stage: stage, Attempt: attempt})
 

@@ -16,6 +16,7 @@ import (
 	"unsafe"
 
 	"graphlocality/internal/graph"
+	"graphlocality/internal/obs"
 	"graphlocality/internal/runctl"
 )
 
@@ -42,6 +43,12 @@ type Engine struct {
 	// chunksPerThread controls work-stealing granularity.
 	pullChunks []graph.Range
 	pushChunks []graph.Range
+
+	// Metrics, when set, receives per-traversal observability: a
+	// deterministic traversal counter plus wall-clock/idle/steal
+	// measurements as histogram observations. The hot worker loops are
+	// untouched — folding happens once per traversal.
+	Metrics obs.Recorder
 }
 
 // ChunksPerThread is the work-stealing granularity: each worker owns this
@@ -228,13 +235,20 @@ func (e *Engine) run(ctx context.Context, chunks []graph.Range, fn func(graph.Ra
 		}
 		idleSum += frac
 	}
-	return Stats{
+	st := Stats{
 		Elapsed:  wall,
 		IdlePct:  100 * idleSum / float64(nw),
 		Steals:   steals,
 		Threads:  nw,
 		Canceled: firstErr != nil,
-	}, firstErr
+	}
+	if e.Metrics != nil {
+		e.Metrics.Counter("spmv.traversals").Inc()
+		e.Metrics.Histogram("spmv.traversal_ms").Observe(float64(wall.Microseconds()) / 1000)
+		e.Metrics.Histogram("spmv.idle_pct").Observe(st.IdlePct)
+		e.Metrics.Histogram("spmv.steals").Observe(float64(steals))
+	}
+	return st, firstErr
 }
 
 // atomicAddFloat64 adds x to *p with a CAS loop — the concurrency

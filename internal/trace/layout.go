@@ -65,6 +65,21 @@ type Access struct {
 	Dest uint32
 }
 
+// Bytes returns the size of the element this access touches, per the
+// paper's representation (§II-A): 8 B offsets, 4 B edges, 8 B vertex
+// data. Summing Bytes over a stream gives the deterministic bytes-touched
+// figure the observability manifests report per stage.
+func (a Access) Bytes() uint64 {
+	switch a.Kind {
+	case KindOffsets:
+		return OffsetBytes
+	case KindEdges:
+		return EdgeBytes
+	default:
+		return VertexDataBytes
+	}
+}
+
 // Layout assigns virtual addresses to the four arrays of an SpMV
 // traversal: offsets (|V|+1 × 8 B), edges (|E| × 4 B), old vertex data Di
 // (|V| × 8 B) and new vertex data Di+1 (|V| × 8 B). Arrays are placed on
