@@ -36,6 +36,7 @@ import (
 	"graphlocality/internal/reorder"
 	"graphlocality/internal/runctl"
 	"graphlocality/internal/spmv"
+	"graphlocality/internal/store"
 	"graphlocality/internal/trace"
 	"graphlocality/internal/viz"
 )
@@ -81,6 +82,8 @@ func main() {
 		err = cmdExperiment(os.Args[2:])
 	case "obs":
 		err = cmdObs(os.Args[2:])
+	case "store":
+		err = cmdStore(os.Args[2:])
 	case "bench":
 		err = cmdBench(os.Args[2:])
 	case "help", "-h", "--help":
@@ -150,6 +153,7 @@ Commands:
   experiment  regenerate a paper table or figure (table1..table7,
               fig1..fig6, edr, gap, ihtl, hybrid, hilbert, utilization, all)
   obs         inspect run manifests: obs show <m.json>, obs diff <a> <b>
+  store       maintain a -cachedir artifact store: store stat|verify|gc -dir D
   bench       time a representative experiment grid serial vs parallel and
               write BENCH_parallel.json`)
 }
@@ -163,13 +167,11 @@ func loadGraph(path string) (*graph.Graph, error) {
 	return graph.ReadBinary(f)
 }
 
+// saveGraph writes the graph through the store's atomic protocol (temp +
+// sync + rename), so an interrupted run can never leave a torn .bin where
+// a good file stood.
 func saveGraph(g *graph.Graph, path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	return g.WriteBinary(f)
+	return store.WriteFileAtomic(path, g.WriteBinary)
 }
 
 func cmdSpy(args []string) error {

@@ -3,9 +3,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"graphlocality/internal/cachesim"
+	"graphlocality/internal/store"
 	"graphlocality/internal/trace"
 )
 
@@ -28,12 +30,10 @@ func cmdTrace(args []string) error {
 		return err
 	}
 	logs := trace.CollectLogs(g, trace.NewLayout(g), dir, *threads)
-	f, err := os.Create(*out)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := trace.WriteLogs(logs, f); err != nil {
+	// Atomic write: an interrupted record never leaves a torn trace file.
+	if err := store.WriteFileAtomic(*out, func(w io.Writer) error {
+		return trace.WriteLogs(logs, w)
+	}); err != nil {
 		return err
 	}
 	fmt.Printf("recorded %d accesses across %d threads to %s\n",

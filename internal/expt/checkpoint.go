@@ -1,46 +1,60 @@
 package expt
 
 import (
-	"bufio"
 	"bytes"
 	"encoding/binary"
 	"fmt"
-	"hash/fnv"
-	"io"
-	"os"
 	"path/filepath"
 	"strings"
 	"time"
 
 	"graphlocality/internal/graph"
 	"graphlocality/internal/reorder"
+	"graphlocality/internal/store"
 )
 
 // Permutation checkpoints persist the expensive output of a reordering
 // stage so a crashed or interrupted experiment run can resume without
-// recomputation. One file per dataset/algorithm pair, written atomically
-// (temp file + rename) right after the stage completes, so whatever was
-// finished before a SIGINT or panic survives.
+// recomputation, and so concurrent runs sharing one -cachedir compute
+// each permutation exactly once. One artifact per dataset/algorithm
+// pair, persisted through internal/store: atomic (temp + fsync + rename
+// + dir fsync), CRC32C-verified on every read, quarantined to
+// <name>.corrupt when damaged, and guarded by the store's advisory
+// per-artifact locks.
 //
-// Format (little-endian): magic "GLPC", version u32, |V| u32, elapsed ns
-// u64, alloc bytes u64, perm [|V|]u32, FNV-64a checksum u64 over all
-// preceding bytes. Loads validate magic, version, size, checksum, and
-// that the payload is a proper permutation of [0, |V|).
+// Artifact layout: a store container with two sections —
+//
+//	"meta": version u32, |V| u32, elapsed ns u64, alloc bytes u64
+//	"perm": [|V|]u32 little-endian (old ID → new ID)
+//
+// Loads validate the container checksums (in the store), then the meta
+// version, the expected vertex count, and that the payload is a proper
+// permutation of [0, |V|).
 
 const (
-	checkpointMagic   = "GLPC"
-	checkpointVersion = 1
+	permMetaSection = "meta"
+	permDataSection = "perm"
+	// permMetaVersion 2 is the store-container generation; version 1 was
+	// the pre-store "GLPC" flat file, which reads as unverifiable now and
+	// is simply regenerated.
+	permMetaVersion = 2
 )
 
+// CheckpointName returns the artifact name of a dataset/algorithm pair
+// inside a cache directory. Names are sanitized so algorithm names like
+// "RO+GO" or dataset names derived from file paths cannot escape the
+// directory.
+func CheckpointName(dsName, algName string) string {
+	return sanitize(dsName) + "__" + sanitize(algName) + ".perm"
+}
+
 // CheckpointPath returns the checkpoint file for a dataset/algorithm pair.
-// Names are sanitized so algorithm names like "RO+GO" or dataset names
-// derived from file paths cannot escape dir.
 func CheckpointPath(dir, dsName, algName string) string {
-	return filepath.Join(dir, sanitize(dsName)+"__"+sanitize(algName)+".perm")
+	return filepath.Join(dir, CheckpointName(dsName, algName))
 }
 
 func sanitize(s string) string {
-	return strings.Map(func(r rune) rune {
+	out := strings.Map(func(r rune) rune {
 		switch {
 		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
 			r == '-', r == '.':
@@ -49,96 +63,66 @@ func sanitize(s string) string {
 			return '_'
 		}
 	}, s)
+	// A leading '.' would collide with the store's reserved temp prefix.
+	if strings.HasPrefix(out, ".") {
+		out = "_" + strings.TrimLeft(out, ".")
+	}
+	return out
 }
 
-// SavePermCheckpoint atomically writes the permutation of res for the
-// given dataset/algorithm pair under dir (created if missing).
-func SavePermCheckpoint(dir, dsName, algName string, res reorder.Result) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
+// encodePermSections serializes a reordering result into the checkpoint
+// container sections.
+func encodePermSections(res reorder.Result) []store.Section {
+	meta := make([]byte, 0, 24)
+	meta = binary.LittleEndian.AppendUint32(meta, permMetaVersion)
+	meta = binary.LittleEndian.AppendUint32(meta, uint32(len(res.Perm)))
+	meta = binary.LittleEndian.AppendUint64(meta, uint64(res.Elapsed.Nanoseconds()))
+	meta = binary.LittleEndian.AppendUint64(meta, res.AllocBytes)
+	perm := make([]byte, 4*len(res.Perm))
+	for i, v := range res.Perm {
+		binary.LittleEndian.PutUint32(perm[4*i:], v)
 	}
-	path := CheckpointPath(dir, dsName, algName)
-	tmp, err := os.CreateTemp(dir, ".perm-*")
-	if err != nil {
-		return err
+	return []store.Section{
+		{Name: permMetaSection, Data: meta},
+		{Name: permDataSection, Data: perm},
 	}
-	defer os.Remove(tmp.Name())
-
-	h := fnv.New64a()
-	bw := bufio.NewWriter(io.MultiWriter(tmp, h))
-	if _, err := bw.WriteString(checkpointMagic); err != nil {
-		return err
-	}
-	hdr := []any{
-		uint32(checkpointVersion),
-		uint32(len(res.Perm)),
-		uint64(res.Elapsed.Nanoseconds()),
-		res.AllocBytes,
-	}
-	for _, x := range hdr {
-		if err := binary.Write(bw, binary.LittleEndian, x); err != nil {
-			return err
-		}
-	}
-	if err := binary.Write(bw, binary.LittleEndian, []uint32(res.Perm)); err != nil {
-		return err
-	}
-	if err := bw.Flush(); err != nil {
-		return err
-	}
-	if err := binary.Write(tmp, binary.LittleEndian, h.Sum64()); err != nil {
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
 }
 
-// LoadPermCheckpoint reads and validates the checkpoint for the given
-// dataset/algorithm pair. n is the expected vertex count; a checkpoint of
-// any other size (e.g. written for a different -size suite) is rejected.
-// The file is small (4 bytes per vertex) so it is read whole; the
-// checksum covers every byte before the trailing sum.
-func LoadPermCheckpoint(dir, dsName, algName string, n uint32) (reorder.Result, error) {
-	path := CheckpointPath(dir, dsName, algName)
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return reorder.Result{}, err
+// decodePermSections validates and decodes checkpoint sections. n is the
+// expected vertex count; a checkpoint of any other size (e.g. written
+// for a different -size suite) is rejected. path only labels errors.
+func decodePermSections(sections []store.Section, path, algName string, n uint32) (reorder.Result, error) {
+	meta, ok := store.FindSection(sections, permMetaSection)
+	if !ok {
+		return reorder.Result{}, fmt.Errorf("expt: checkpoint %s: missing %q section", path, permMetaSection)
 	}
-	const hdrLen = len(checkpointMagic) + 4 + 4 + 8 + 8
-	if len(data) < hdrLen+8 {
-		return reorder.Result{}, fmt.Errorf("expt: checkpoint %s: truncated (%d bytes)", path, len(data))
+	if len(meta) != 24 {
+		return reorder.Result{}, fmt.Errorf("expt: checkpoint %s: meta section is %d bytes, want 24", path, len(meta))
 	}
-	body, tail := data[:len(data)-8], data[len(data)-8:]
-	h := fnv.New64a()
-	h.Write(body)
-	if h.Sum64() != binary.LittleEndian.Uint64(tail) {
-		return reorder.Result{}, fmt.Errorf("expt: checkpoint %s: checksum mismatch", path)
-	}
-	if string(body[:len(checkpointMagic)]) != checkpointMagic {
-		return reorder.Result{}, fmt.Errorf("expt: checkpoint %s: bad magic %q", path, body[:len(checkpointMagic)])
-	}
-	br := bytes.NewReader(body[len(checkpointMagic):])
+	br := bytes.NewReader(meta)
 	var version, count uint32
 	var elapsedNs, alloc uint64
 	for _, p := range []any{&version, &count, &elapsedNs, &alloc} {
 		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
-			return reorder.Result{}, fmt.Errorf("expt: checkpoint %s: reading header: %w", path, err)
+			return reorder.Result{}, fmt.Errorf("expt: checkpoint %s: reading meta: %w", path, err)
 		}
 	}
-	if version != checkpointVersion {
+	if version != permMetaVersion {
 		return reorder.Result{}, fmt.Errorf("expt: checkpoint %s: unsupported version %d", path, version)
 	}
 	if count != n {
 		return reorder.Result{}, fmt.Errorf("expt: checkpoint %s: %d vertices, want %d", path, count, n)
 	}
-	if br.Len() != int(count)*4 {
-		return reorder.Result{}, fmt.Errorf("expt: checkpoint %s: %d payload bytes, want %d", path, br.Len(), count*4)
+	data, ok := store.FindSection(sections, permDataSection)
+	if !ok {
+		return reorder.Result{}, fmt.Errorf("expt: checkpoint %s: missing %q section", path, permDataSection)
+	}
+	if len(data) != int(count)*4 {
+		return reorder.Result{}, fmt.Errorf("expt: checkpoint %s: %d payload bytes, want %d", path, len(data), count*4)
 	}
 	perm := make(graph.Permutation, count)
-	if err := binary.Read(br, binary.LittleEndian, []uint32(perm)); err != nil {
-		return reorder.Result{}, fmt.Errorf("expt: checkpoint %s: reading permutation: %w", path, err)
+	for i := range perm {
+		perm[i] = binary.LittleEndian.Uint32(data[4*i:])
 	}
 	// The payload must be a bijection on [0, n).
 	seen := make([]bool, count)
@@ -154,4 +138,33 @@ func LoadPermCheckpoint(dir, dsName, algName string, n uint32) (reorder.Result, 
 		Elapsed:    time.Duration(elapsedNs),
 		AllocBytes: alloc,
 	}, nil
+}
+
+// SavePermCheckpoint atomically writes the permutation of res for the
+// given dataset/algorithm pair under dir (created if missing). The write
+// goes through the artifact store: it is crash-safe and taken under the
+// artifact's exclusive lock.
+func SavePermCheckpoint(dir, dsName, algName string, res reorder.Result) error {
+	st, err := store.Open(dir, nil)
+	if err != nil {
+		return err
+	}
+	return st.WriteArtifact(CheckpointName(dsName, algName), encodePermSections(res))
+}
+
+// LoadPermCheckpoint reads and fully verifies the checkpoint for the
+// given dataset/algorithm pair. Integrity damage surfaces as a typed
+// *store.IntegrityError after the store has quarantined the file; a
+// missing checkpoint reports os.IsNotExist.
+func LoadPermCheckpoint(dir, dsName, algName string, n uint32) (reorder.Result, error) {
+	st, err := store.Open(dir, nil)
+	if err != nil {
+		return reorder.Result{}, err
+	}
+	name := CheckpointName(dsName, algName)
+	sections, err := st.ReadArtifact(name)
+	if err != nil {
+		return reorder.Result{}, err
+	}
+	return decodePermSections(sections, st.Path(name), algName, n)
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log"
 	"runtime"
 	"sync"
 	"time"
@@ -15,6 +16,7 @@ import (
 	"graphlocality/internal/reorder"
 	"graphlocality/internal/runctl"
 	"graphlocality/internal/spmv"
+	"graphlocality/internal/store"
 	"graphlocality/internal/trace"
 )
 
@@ -115,6 +117,10 @@ type Session struct {
 	stateMu  sync.Mutex
 	degraded map[string]string // "ds/alg" -> reason the RA fell back to Initial
 	restored map[string]bool   // "ds/alg" -> permutation came from a checkpoint
+
+	storeOnce sync.Once
+	stor      *store.Store // nil when CacheDir is unset or unusable
+	warnOnce  sync.Once    // checkpoint write failures are logged once per run
 }
 
 // NewSession returns a session with the repo's standard measurement
@@ -219,6 +225,25 @@ func (s *Session) EngineThreads() int {
 // rec returns the session recorder, mapping nil to the no-op recorder.
 func (s *Session) rec() obs.Recorder { return obs.Of(s.Obs) }
 
+// cacheStore lazily opens the artifact store over CacheDir. It returns
+// nil when the session has no cache directory or the directory is
+// unusable — the latter is logged once and the run proceeds uncached
+// rather than dying over a persistence problem.
+func (s *Session) cacheStore() *store.Store {
+	if s.CacheDir == "" {
+		return nil
+	}
+	s.storeOnce.Do(func() {
+		st, err := store.Open(s.CacheDir, s.Obs)
+		if err != nil {
+			log.Printf("expt: cache directory unusable, running uncached: %v", err)
+			return
+		}
+		s.stor = st
+	})
+	return s.stor
+}
+
 // Graph returns the memoized graph of ds.
 func (s *Session) Graph(ds Dataset) *graph.Graph {
 	return s.graphs.Do(ds.Name, func() *graph.Graph {
@@ -234,41 +259,46 @@ func (s *Session) Graph(ds Dataset) *graph.Graph {
 // Reorder returns the memoized reordering result of alg on ds. The
 // computation runs as the run-control stage "reorder/<ds>/<alg>": a panic,
 // deadline overrun or exhausted retry degrades the result to the Initial
-// ordering (recorded; see Degraded) instead of aborting the run. With
-// Resume set, a valid checkpoint in CacheDir short-circuits the
-// computation; with CacheDir set, fresh results are checkpointed
-// write-through.
+// ordering (recorded; see Degraded) instead of aborting the run.
+//
+// With CacheDir set, the pair's permutation lives in the artifact store:
+// the stage runs under the checkpoint's exclusive file lock, so
+// concurrent sessions sharing one cache directory compute each
+// permutation exactly once (whoever wins the lock computes; the others
+// restore the verified result). With Resume set, a checkpoint that
+// passes integrity and shape validation short-circuits the computation;
+// a corrupt one is quarantined by the store and transparently
+// regenerated. Fresh results are checkpointed write-through; a failed
+// checkpoint write never fails the experiment, but it is counted
+// (expt.checkpoint_write_failures) and logged once per run.
 func (s *Session) Reorder(ds Dataset, alg reorder.Algorithm) reorder.Result {
 	key := ds.Name + "/" + alg.Name()
 	return s.reorders.Do(key, func() reorder.Result {
 		g := s.Graph(ds)
-		if s.Resume && s.CacheDir != "" {
-			if r, err := LoadPermCheckpoint(s.CacheDir, ds.Name, alg.Name(), g.NumVertices()); err == nil {
-				s.setRestored(key)
-				s.rec().Counter("expt.checkpoint_restores").Inc()
-				return r
-			}
-		}
 		stage := "reorder/" + key
-		var res reorder.Result
-		err := s.controller().Run(stage, func(ctx context.Context) error {
-			if err := runctl.Fire(ctx, stage); err != nil {
-				return err
-			}
-			r, err := reorder.RunContext(ctx, alg, g)
-			if err != nil {
-				return err
-			}
-			res = r
-			return nil
-		})
-		if err != nil {
+		compute := func() (reorder.Result, error) {
+			var res reorder.Result
+			err := s.controller().Run(stage, func(ctx context.Context) error {
+				if err := runctl.Fire(ctx, stage); err != nil {
+					return err
+				}
+				r, err := reorder.RunContext(ctx, alg, g)
+				if err != nil {
+					return err
+				}
+				res = r
+				return nil
+			})
+			return res, err
+		}
+		degrade := func(err error) reorder.Result {
 			// Graceful degradation: the row falls back to the Initial ordering
 			// rather than killing the run and discarding sibling results.
-			res = reorder.Result{Algorithm: alg.Name(), Perm: graph.Identity(g.NumVertices())}
 			s.setDegraded(key, degradeReason(err))
 			s.rec().Counter("expt.degraded_stages").Inc()
-		} else {
+			return reorder.Result{Algorithm: alg.Name(), Perm: graph.Identity(g.NumVertices())}
+		}
+		record := func(res reorder.Result) {
 			// The stage span (wall recorded by runctl) gets the deterministic
 			// facts: vertices permuted, permutation bytes produced. Allocator
 			// traffic is nondeterministic, so it goes in a histogram where
@@ -277,11 +307,51 @@ func (s *Session) Reorder(ds Dataset, alg reorder.Algorithm) reorder.Result {
 			sp.AddEvents(uint64(len(res.Perm)))
 			sp.AddBytes(4 * uint64(len(res.Perm)))
 			s.rec().Histogram("reorder.alloc_bytes").Observe(float64(res.AllocBytes))
-			if s.CacheDir != "" {
-				// Best-effort write-through checkpoint; a failed write must not
-				// fail the experiment.
-				_ = SavePermCheckpoint(s.CacheDir, ds.Name, alg.Name(), res)
+		}
+
+		st := s.cacheStore()
+		if st == nil {
+			res, err := compute()
+			if err != nil {
+				return degrade(err)
 			}
+			record(res)
+			return res
+		}
+
+		name := CheckpointName(ds.Name, alg.Name())
+		var res reorder.Result
+		check := func(sections []store.Section) error {
+			r, err := decodePermSections(sections, st.Path(name), alg.Name(), g.NumVertices())
+			if err == nil {
+				res = r
+			}
+			return err
+		}
+		got, err := st.GetOrCompute(name, s.Resume, check, func() ([]store.Section, error) {
+			r, err := compute()
+			if err != nil {
+				return nil, err
+			}
+			res = r
+			return encodePermSections(r), nil
+		})
+		if err != nil {
+			return degrade(err)
+		}
+		if got.Restored {
+			s.setRestored(key)
+			s.rec().Counter("expt.checkpoint_restores").Inc()
+			return res
+		}
+		record(res)
+		if got.WriteErr != nil {
+			// The result is fine, only persistence failed: count it in the
+			// manifest and tell the user once instead of dropping it silently.
+			s.rec().Counter("expt.checkpoint_write_failures").Inc()
+			s.warnOnce.Do(func() {
+				log.Printf("expt: checkpoint write failed, resume will recompute %s (further failures counted, not logged): %v", key, got.WriteErr)
+			})
 		}
 		return res
 	})

@@ -4,6 +4,8 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash"
+	"hash/crc32"
 	"io"
 	"strconv"
 	"strings"
@@ -13,13 +15,23 @@ import (
 //
 //   - Text: one "src dst" pair per line, '#'-prefixed comment lines skipped.
 //     The vertex count is max ID + 1 unless given explicitly.
-//   - Binary: magic "GLCG", version, |V|, |E|, CSR offsets, CSR edges.
-//     CSC is rebuilt on load. Little-endian throughout.
+//   - Binary: magic "GLCG", version, |V|, |E|, CSR offsets, CSR edges and —
+//     since version 2 — a trailing CRC32C over every preceding byte, so
+//     bit rot or a torn tail in a saved graph is rejected instead of
+//     silently reordering a different graph. Version-1 files (no
+//     checksum) still load. CSC is rebuilt on load. Little-endian
+//     throughout.
 
 const (
 	binaryMagic   = "GLCG"
-	binaryVersion = 1
+	binaryVersion = 2
+	// binaryVersionLegacy is the pre-checksum format, accepted on read.
+	binaryVersionLegacy = 1
 )
+
+// graphCastagnoli is the CRC32C polynomial, matching the framing used by
+// internal/store artifacts and trace files.
+var graphCastagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // Limits a binary header may claim before the loader rejects it outright.
 // Both sit far above any graph this toolkit builds, but low enough that a
@@ -34,25 +46,46 @@ const (
 	MaxBinaryEdges = 1 << 32
 )
 
-// WriteBinary serializes the graph's CSR form to w.
+// WriteBinary serializes the graph's CSR form to w, ending with a CRC32C
+// over every preceding byte.
 func (g *Graph) WriteBinary(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(binaryMagic); err != nil {
+	crc := crc32.New(graphCastagnoli)
+	hw := io.MultiWriter(bw, crc)
+	if _, err := io.WriteString(hw, binaryMagic); err != nil {
 		return err
 	}
 	hdr := []uint64{binaryVersion, uint64(g.n), g.NumEdges()}
 	for _, x := range hdr {
-		if err := binary.Write(bw, binary.LittleEndian, x); err != nil {
+		if err := binary.Write(hw, binary.LittleEndian, x); err != nil {
 			return err
 		}
 	}
-	if err := binary.Write(bw, binary.LittleEndian, g.outOff); err != nil {
+	if err := binary.Write(hw, binary.LittleEndian, g.outOff); err != nil {
 		return err
 	}
-	if err := binary.Write(bw, binary.LittleEndian, g.outAdj); err != nil {
+	if err := binary.Write(hw, binary.LittleEndian, g.outAdj); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, crc.Sum32()); err != nil {
 		return err
 	}
 	return bw.Flush()
+}
+
+// crcTapReader accumulates a CRC over exactly the bytes the consumer
+// reads, so the trailing checksum compares against the consumed stream.
+type crcTapReader struct {
+	r io.Reader
+	h hash.Hash32
+}
+
+func (c *crcTapReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	if n > 0 {
+		c.h.Write(p[:n])
+	}
+	return n, err
 }
 
 // ReadBinary deserializes a graph written by WriteBinary. The loader is
@@ -63,9 +96,13 @@ func (g *Graph) WriteBinary(w io.Writer) error {
 // a damaged file yields a descriptive error rather than a huge allocation
 // or a panic later on.
 func ReadBinary(r io.Reader) (*Graph, error) {
+	// Everything up to the trailing checksum is consumed through the CRC
+	// tap; for legacy version-1 files the accumulated hash is simply
+	// ignored.
 	br := bufio.NewReader(r)
+	hr := &crcTapReader{r: br, h: crc32.New(graphCastagnoli)}
 	magic := make([]byte, len(binaryMagic))
-	if _, err := io.ReadFull(br, magic); err != nil {
+	if _, err := io.ReadFull(hr, magic); err != nil {
 		return nil, fmt.Errorf("graph: reading magic: %w", err)
 	}
 	if string(magic) != binaryMagic {
@@ -73,12 +110,12 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	}
 	var version, n, m uint64
 	for _, p := range []*uint64{&version, &n, &m} {
-		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+		if err := binary.Read(hr, binary.LittleEndian, p); err != nil {
 			return nil, fmt.Errorf("graph: reading header: %w", err)
 		}
 	}
-	if version != binaryVersion {
-		return nil, fmt.Errorf("graph: unsupported version %d (want %d)", version, binaryVersion)
+	if version != binaryVersion && version != binaryVersionLegacy {
+		return nil, fmt.Errorf("graph: unsupported version %d (want %d)", version, uint64(binaryVersion))
 	}
 	if n > MaxBinaryVertices {
 		return nil, fmt.Errorf("graph: header claims %d vertices, over the loader limit %d", n, uint64(MaxBinaryVertices))
@@ -94,7 +131,7 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	for read := uint64(0); read < n+1; {
 		c := min64(n+1-read, chunk)
 		buf := make([]uint64, c)
-		if err := binary.Read(br, binary.LittleEndian, buf); err != nil {
+		if err := binary.Read(hr, binary.LittleEndian, buf); err != nil {
 			return nil, fmt.Errorf("graph: reading offsets (%d of %d): %w", read, n+1, err)
 		}
 		for i, x := range buf {
@@ -116,7 +153,7 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	for read := uint64(0); read < m; {
 		c := min64(m-read, chunk)
 		buf := make([]uint32, c)
-		if err := binary.Read(br, binary.LittleEndian, buf); err != nil {
+		if err := binary.Read(hr, binary.LittleEndian, buf); err != nil {
 			return nil, fmt.Errorf("graph: reading edges (%d of %d): %w", read, m, err)
 		}
 		for i, u := range buf {
@@ -126,6 +163,19 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 		}
 		adj = append(adj, buf...)
 		read += c
+	}
+	if version >= binaryVersion {
+		want := hr.h.Sum32()
+		var got uint32
+		if err := binary.Read(br, binary.LittleEndian, &got); err != nil {
+			return nil, fmt.Errorf("graph: reading trailing checksum: %w", err)
+		}
+		if got != want {
+			return nil, fmt.Errorf("graph: checksum mismatch (file %08x, computed %08x)", got, want)
+		}
+		if x, err := br.Read(make([]byte, 1)); x != 0 || err != io.EOF {
+			return nil, fmt.Errorf("graph: trailing bytes after checksum")
+		}
 	}
 	return FromCSR(uint32(n), off, adj)
 }

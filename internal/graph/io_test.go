@@ -117,6 +117,49 @@ func TestReadBinaryCorrupt(t *testing.T) {
 	}
 }
 
+// TestReadBinaryChecksum: damage that passes every structural check must
+// still be rejected by the trailing CRC32C — here the last adjacency
+// entry is swapped for another in-range vertex ID.
+func TestReadBinaryChecksum(t *testing.T) {
+	b := validBinary(t)
+	adjOff := offsetsOff + int(binary.LittleEndian.Uint64(b[hdrVerticesOff:])+1)*8
+	lastAdj := len(b) - 8 // final u32 adjacency entry + trailing crc u32
+	if lastAdj < adjOff {
+		t.Fatal("test graph has no edges")
+	}
+	old := binary.LittleEndian.Uint32(b[lastAdj:])
+	binary.LittleEndian.PutUint32(b[lastAdj:], (old+1)%uint32(binary.LittleEndian.Uint64(b[hdrVerticesOff:])))
+	if _, err := ReadBinary(bytes.NewReader(b)); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("structurally-valid corruption not caught by checksum: %v", err)
+	}
+	// A truncated checksum is also rejected.
+	b2 := validBinary(t)
+	if _, err := ReadBinary(bytes.NewReader(b2[:len(b2)-2])); err == nil {
+		t.Error("truncated checksum accepted")
+	}
+	// Trailing garbage after the checksum is rejected.
+	b3 := append(validBinary(t), 0xFF)
+	if _, err := ReadBinary(bytes.NewReader(b3)); err == nil || !strings.Contains(err.Error(), "trailing") {
+		t.Errorf("trailing garbage accepted: %v", err)
+	}
+}
+
+// TestReadBinaryLegacyV1 keeps pre-checksum files loadable: the same
+// stream minus the trailing CRC, with the version field set to 1.
+func TestReadBinaryLegacyV1(t *testing.T) {
+	b := validBinary(t)
+	v1 := b[:len(b)-4] // drop the trailing checksum
+	putU64(v1, hdrVersionOff, 1)
+	g, err := ReadBinary(bytes.NewReader(v1))
+	if err != nil {
+		t.Fatalf("legacy file rejected: %v", err)
+	}
+	want := diamond()
+	if g.NumVertices() != want.NumVertices() || g.NumEdges() != want.NumEdges() {
+		t.Fatalf("legacy load changed shape: |V|=%d |E|=%d", g.NumVertices(), g.NumEdges())
+	}
+}
+
 // TestReadBinaryHugeHeaderNoAllocation checks a header claiming a huge (but
 // under-limit) graph fails fast at EOF instead of allocating the claimed
 // size up front.

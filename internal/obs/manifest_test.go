@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"io"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -73,6 +75,53 @@ func TestManifestFileRoundTrip(t *testing.T) {
 	eb, _ := got.Encode()
 	if string(ea) != string(eb) {
 		t.Errorf("round trip changed manifest:\n%s\nvs\n%s", ea, eb)
+	}
+}
+
+// TestWriteManifestFileIsAtomic: overwriting an existing manifest must
+// go through a temp file + rename, never truncate-then-write in place,
+// and must leave no temp debris behind on success.
+func TestWriteManifestFileIsAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.json")
+	first := sample(1).Manifest(Meta{Tool: "t"})
+	if err := WriteManifestFile(path, first); err != nil {
+		t.Fatal(err)
+	}
+	// An open handle on the old version keeps reading the old complete
+	// bytes even while the new version is written: rename replaces the
+	// directory entry, it never truncates the inode a reader holds.
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	second := sample(2).Manifest(Meta{Tool: "t"})
+	if err := WriteManifestFile(path, second); err != nil {
+		t.Fatal(err)
+	}
+	oldData, err := io.ReadAll(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantOld, _ := first.Encode(); string(oldData) != string(wantOld) {
+		t.Error("old reader saw torn or new bytes: the write was not a rename")
+	}
+	got, err := ReadManifestFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(got, second) {
+		t.Error("path does not hold the new manifest")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != "m.json" {
+			t.Errorf("temp debris left behind: %q", e.Name())
+		}
 	}
 }
 

@@ -1,0 +1,145 @@
+package store
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"syscall"
+
+	"graphlocality/internal/runctl"
+)
+
+// The atomic write protocol, instrumented for the chaos harness. Every
+// named point is a place a process can die (or a torn write can land)
+// and the protocol must still guarantee that path either holds its old
+// verified contents or its new verified contents — never a mixture.
+const (
+	// PointBeforeFlush fires after the payload is streamed into the temp
+	// file but before it is flushed and fsynced: a crash here leaves a
+	// partially-written temp file and an untouched target.
+	PointBeforeFlush = "store.write.before-flush"
+	// PointBeforeSync fires after flush, before the temp file's fsync: a
+	// crash here may leave the temp file torn in the page cache.
+	PointBeforeSync = "store.write.before-sync"
+	// PointBeforeRename fires after the temp fsync, before the rename: a
+	// crash here leaves a complete orphaned temp file and an untouched
+	// target.
+	PointBeforeRename = "store.write.before-rename"
+	// PointBeforeDirSync fires after the rename, before the directory
+	// fsync: the artifact is visible but its directory entry may not be
+	// durable yet.
+	PointBeforeDirSync = "store.write.before-dirsync"
+	// PointAfterCommit fires last, with the final artifact path: the
+	// corruption modes (truncate, bit-flip) target it to model torn
+	// writes and bit rot that land after a successful commit.
+	PointAfterCommit = "store.write.after-commit"
+)
+
+// CrashPoints returns every instrumented point of the atomic write
+// protocol in firing order. The chaos sweep iterates this list so a new
+// instrumented point is automatically covered.
+func CrashPoints() []string {
+	return []string{
+		PointBeforeFlush,
+		PointBeforeSync,
+		PointBeforeRename,
+		PointBeforeDirSync,
+		PointAfterCommit,
+	}
+}
+
+// WriteFileAtomic writes a file with full crash safety: the payload is
+// streamed into a same-directory temp file, flushed and fsynced, renamed
+// over path, and the directory is fsynced so the rename itself is
+// durable. A crash at any instant leaves either the old file or the new
+// file under path, never a torn mixture (plus at most one orphaned
+// ".tmp-*" file, which GC collects).
+//
+// A runctl failpoint in FailCrash mode at any CrashPoints entry aborts
+// the protocol right there with runctl.ErrSimulatedCrash and —
+// deliberately — skips all cleanup, so crash-restart tests see exactly
+// the on-disk state a SIGKILL would leave.
+func WriteFileAtomic(path string, write func(io.Writer) error) (err error) {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, ".tmp-"+base+"-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	// A simulated crash must leave the partial state in place; every
+	// organic failure cleans up the temp file.
+	crashed := false
+	defer func() {
+		if crashed {
+			return
+		}
+		tmp.Close()
+		if err != nil {
+			os.Remove(tmpName)
+		}
+	}()
+
+	bw := bufio.NewWriter(tmp)
+	if err = write(bw); err != nil {
+		return err
+	}
+	if err = runctl.FireFile(context.Background(), PointBeforeFlush, tmpName); err != nil {
+		crashed = errors.Is(err, runctl.ErrSimulatedCrash)
+		return err
+	}
+	if err = bw.Flush(); err != nil {
+		return err
+	}
+	if err = runctl.FireFile(context.Background(), PointBeforeSync, tmpName); err != nil {
+		crashed = errors.Is(err, runctl.ErrSimulatedCrash)
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return err
+	}
+	if err = tmp.Close(); err != nil {
+		return err
+	}
+	if err = runctl.FireFile(context.Background(), PointBeforeRename, tmpName); err != nil {
+		crashed = errors.Is(err, runctl.ErrSimulatedCrash)
+		return err
+	}
+	if err = os.Rename(tmpName, path); err != nil {
+		return err
+	}
+	if err = runctl.FireFile(context.Background(), PointBeforeDirSync, path); err != nil {
+		crashed = errors.Is(err, runctl.ErrSimulatedCrash)
+		return err
+	}
+	if err = syncDir(dir); err != nil {
+		return err
+	}
+	if err = runctl.FireFile(context.Background(), PointAfterCommit, path); err != nil {
+		crashed = errors.Is(err, runctl.ErrSimulatedCrash)
+		return err
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-committed rename survives power
+// loss. Filesystems that cannot fsync directories report EINVAL/ENOTSUP;
+// those are ignored — the rename is still atomic, just not yet durable,
+// which is the strongest guarantee such filesystems offer.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil &&
+		!errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return err
+	}
+	return nil
+}

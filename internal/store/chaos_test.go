@@ -1,0 +1,233 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"graphlocality/internal/runctl"
+)
+
+// The chaos harness for the write protocol itself: kill or corrupt a
+// write at every instrumented point (CrashPoints) and assert the
+// invariant the store promises — after a "restart", a read either
+// returns fully-verified data (old or new version) or a detectable
+// miss/corruption, never a torn artifact presented as valid.
+
+// TestCrashAtEveryPointFreshWrite crashes the *first* write of an
+// artifact at every instrumented point and checks what a restarted
+// process sees.
+func TestCrashAtEveryPointFreshWrite(t *testing.T) {
+	for _, point := range CrashPoints() {
+		t.Run(point, func(t *testing.T) {
+			s, _ := openTestStore(t)
+			remove := runctl.Inject(point, runctl.Failpoint{Mode: runctl.FailCrash, Times: 1})
+			defer remove()
+			err := s.WriteArtifact("a.bin", sampleSections())
+			if !errors.Is(err, runctl.ErrSimulatedCrash) {
+				t.Fatalf("crashed write returned %v, want ErrSimulatedCrash", err)
+			}
+			// Restart: a fresh read must be a clean miss or verified data —
+			// crash points after the rename leave the complete new version.
+			got, rerr := s.ReadArtifact("a.bin")
+			switch point {
+			case PointBeforeDirSync, PointAfterCommit:
+				if rerr != nil {
+					t.Fatalf("post-rename crash: read failed: %v", rerr)
+				}
+				if d, _ := FindSection(got, "meta"); !bytes.Equal(d, []byte{1, 2, 3, 4}) {
+					t.Fatalf("post-rename crash: wrong payload %v", d)
+				}
+			default:
+				if !os.IsNotExist(rerr) {
+					t.Fatalf("pre-rename crash: read returned (%d sections, %v), want clean miss", len(got), rerr)
+				}
+			}
+			// The retried write always succeeds and verifies.
+			if err := s.WriteArtifact("a.bin", sampleSections()); err != nil {
+				t.Fatalf("write after crash: %v", err)
+			}
+			if _, err := s.ReadArtifact("a.bin"); err != nil {
+				t.Fatalf("read after recovery: %v", err)
+			}
+		})
+	}
+}
+
+// TestCrashAtEveryPointOverwrite crashes an *overwrite* at every point:
+// the old verified version must remain readable for every pre-rename
+// crash, and the new verified version for every post-rename crash —
+// never a mixture, never nothing.
+func TestCrashAtEveryPointOverwrite(t *testing.T) {
+	oldSections := []Section{{Name: "v", Data: []byte("old-version")}}
+	newSections := []Section{{Name: "v", Data: []byte("new-version")}}
+	for _, point := range CrashPoints() {
+		t.Run(point, func(t *testing.T) {
+			s, _ := openTestStore(t)
+			if err := s.WriteArtifact("a.bin", oldSections); err != nil {
+				t.Fatal(err)
+			}
+			remove := runctl.Inject(point, runctl.Failpoint{Mode: runctl.FailCrash, Times: 1})
+			defer remove()
+			if err := s.WriteArtifact("a.bin", newSections); !errors.Is(err, runctl.ErrSimulatedCrash) {
+				t.Fatalf("crashed overwrite returned %v", err)
+			}
+			got, err := s.ReadArtifact("a.bin")
+			if err != nil {
+				t.Fatalf("read after crashed overwrite: %v", err)
+			}
+			d, _ := FindSection(got, "v")
+			switch point {
+			case PointBeforeDirSync, PointAfterCommit:
+				if string(d) != "new-version" {
+					t.Fatalf("post-rename crash reads %q, want new-version", d)
+				}
+			default:
+				if string(d) != "old-version" {
+					t.Fatalf("pre-rename crash reads %q, want old-version", d)
+				}
+			}
+		})
+	}
+}
+
+// TestCorruptionModesAreCaughtAndQuarantined lands torn-write and
+// bit-rot damage on the committed artifact (via the after-commit
+// failpoint, exactly as a real torn write would: the writer believes it
+// succeeded) and asserts the read path refuses, quarantines and reports
+// a typed error.
+func TestCorruptionModesAreCaughtAndQuarantined(t *testing.T) {
+	cases := []struct {
+		name string
+		fp   runctl.Failpoint
+	}{
+		{"truncate-half", runctl.Failpoint{Mode: runctl.FailTruncate, Offset: -1024, Times: 1}},
+		{"truncate-header", runctl.Failpoint{Mode: runctl.FailTruncate, Offset: 6, Times: 1}},
+		{"bitflip-payload", runctl.Failpoint{Mode: runctl.FailBitFlip, Offset: -4, Times: 1}},
+		{"bitflip-table", runctl.Failpoint{Mode: runctl.FailBitFlip, Offset: 9, Times: 1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, reg := openTestStore(t)
+			remove := runctl.Inject(PointAfterCommit, tc.fp)
+			defer remove()
+			// The writer must NOT notice: torn writes are silent.
+			if err := s.WriteArtifact("a.bin", sampleSections()); err != nil {
+				t.Fatalf("corrupted write surfaced to the writer: %v", err)
+			}
+			_, err := s.ReadArtifact("a.bin")
+			var ie *IntegrityError
+			if !errors.As(err, &ie) {
+				t.Fatalf("read of corrupted artifact returned %v, want *IntegrityError", err)
+			}
+			if ie.Quarantined == "" {
+				t.Error("corrupted artifact not quarantined")
+			}
+			if n := reg.Counter("store.integrity_errors").Value(); n != 1 {
+				t.Errorf("store.integrity_errors = %d", n)
+			}
+			// Regeneration is clean: write again, read verified.
+			if err := s.WriteArtifact("a.bin", sampleSections()); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.ReadArtifact("a.bin"); err != nil {
+				t.Fatalf("read after regeneration: %v", err)
+			}
+		})
+	}
+}
+
+// TestGetOrComputeRegeneratesAfterCrash drives the full resume flow: a
+// crashed write leaves debris, a second GetOrCompute (the "-resume"
+// restart) must transparently recompute and persist.
+func TestGetOrComputeRegeneratesAfterCrash(t *testing.T) {
+	for _, point := range CrashPoints() {
+		t.Run(point, func(t *testing.T) {
+			s, _ := openTestStore(t)
+			remove := runctl.Inject(point, runctl.Failpoint{Mode: runctl.FailCrash, Times: 1})
+			res, err := s.GetOrCompute("x.bin", true, nil, func() ([]Section, error) {
+				return []Section{{Name: "v", Data: []byte("computed")}}, nil
+			})
+			remove()
+			// The compute succeeded; only the persistence crashed.
+			if err != nil {
+				t.Fatalf("GetOrCompute failed outright: %v", err)
+			}
+			if !errors.Is(res.WriteErr, runctl.ErrSimulatedCrash) {
+				t.Fatalf("WriteErr = %v, want ErrSimulatedCrash", res.WriteErr)
+			}
+			if d, _ := FindSection(res.Sections, "v"); string(d) != "computed" {
+				t.Fatalf("crashed-write result payload %q", d)
+			}
+			// Restart.
+			res2, err := s.GetOrCompute("x.bin", true, nil, func() ([]Section, error) {
+				return []Section{{Name: "v", Data: []byte("computed")}}, nil
+			})
+			if err != nil || res2.WriteErr != nil {
+				t.Fatalf("restart GetOrCompute: err=%v writeErr=%v", err, res2.WriteErr)
+			}
+			if d, _ := FindSection(res2.Sections, "v"); string(d) != "computed" {
+				t.Fatalf("restart payload %q", d)
+			}
+			// Crash points after the rename left a committed artifact the
+			// restart restores; earlier points force a recompute. Either way
+			// a third call must restore from a verified file.
+			res3, err := s.GetOrCompute("x.bin", true, nil, func() ([]Section, error) {
+				t.Error("third GetOrCompute recomputed")
+				return nil, nil
+			})
+			if err != nil || !res3.Restored {
+				t.Fatalf("third GetOrCompute: err=%v restored=%v", err, res3.Restored)
+			}
+		})
+	}
+}
+
+// TestCrashLeavesCollectableTempOnly: whatever a crash leaves behind is
+// either the artifact itself or a ".tmp-*" orphan that GC collects;
+// nothing else may appear in the directory.
+func TestCrashLeavesCollectableTempOnly(t *testing.T) {
+	for _, point := range CrashPoints() {
+		t.Run(point, func(t *testing.T) {
+			s, _ := openTestStore(t)
+			remove := runctl.Inject(point, runctl.Failpoint{Mode: runctl.FailCrash, Times: 1})
+			defer remove()
+			if err := s.WriteArtifact("a.bin", sampleSections()); !errors.Is(err, runctl.ErrSimulatedCrash) {
+				t.Fatalf("want simulated crash, got %v", err)
+			}
+			entries, err := os.ReadDir(s.Dir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range entries {
+				name := e.Name()
+				ok := name == "a.bin" || strings.HasPrefix(name, ".tmp-") || strings.HasSuffix(name, LockSuffix)
+				if !ok {
+					t.Errorf("unexpected debris %q after crash at %s", name, point)
+				}
+			}
+			if removed, err := s.GC(GCOptions{TempAge: -1}); err != nil {
+				t.Fatal(err)
+			} else {
+				for _, r := range removed {
+					if !strings.HasPrefix(r, ".tmp-") {
+						t.Errorf("GC removed non-temp %q", r)
+					}
+				}
+			}
+			if _, err := os.ReadDir(s.Dir()); err != nil {
+				t.Fatal(err)
+			}
+			// Nothing orphaned survives GC but locks and the artifact.
+			entries, _ = os.ReadDir(s.Dir())
+			for _, e := range entries {
+				if strings.HasPrefix(e.Name(), ".tmp-") {
+					t.Errorf("GC left temp %q", filepath.Join(s.Dir(), e.Name()))
+				}
+			}
+		})
+	}
+}

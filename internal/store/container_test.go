@@ -1,0 +1,115 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func sampleSections() []Section {
+	return []Section{
+		{Name: "meta", Data: []byte{1, 2, 3, 4}},
+		{Name: "perm", Data: bytes.Repeat([]byte{0xAB, 0xCD}, 1000)},
+		{Name: "empty", Data: nil},
+	}
+}
+
+func TestContainerRoundTrip(t *testing.T) {
+	want := sampleSections()
+	var buf bytes.Buffer
+	if err := WriteContainer(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	if !IsContainer(buf.Bytes()) {
+		t.Error("IsContainer false for a container stream")
+	}
+	got, err := ReadContainer(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d sections, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Name != want[i].Name || !bytes.Equal(got[i].Data, want[i].Data) {
+			t.Errorf("section %d mismatch: %q vs %q", i, got[i].Name, want[i].Name)
+		}
+	}
+	if d, ok := FindSection(got, "meta"); !ok || !reflect.DeepEqual(d, []byte{1, 2, 3, 4}) {
+		t.Errorf("FindSection(meta) = %v, %v", d, ok)
+	}
+	if _, ok := FindSection(got, "absent"); ok {
+		t.Error("FindSection found an absent section")
+	}
+}
+
+// TestContainerDetectsEveryByteFlip is the core integrity property: no
+// single-bit corruption anywhere in the container can survive a read.
+func TestContainerDetectsEveryByteFlip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteContainer(&buf, []Section{
+		{Name: "a", Data: []byte("hello artifact")},
+		{Name: "b", Data: []byte{9, 8, 7}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	orig := buf.Bytes()
+	for i := range orig {
+		damaged := append([]byte(nil), orig...)
+		damaged[i] ^= 0x01
+		if _, err := ReadContainer(bytes.NewReader(damaged)); err == nil {
+			t.Fatalf("bit flip at byte %d of %d not detected", i, len(orig))
+		}
+	}
+}
+
+func TestContainerDetectsTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteContainer(&buf, sampleSections()); err != nil {
+		t.Fatal(err)
+	}
+	orig := buf.Bytes()
+	for _, cut := range []int{0, 1, 3, 4, 8, len(orig) / 2, len(orig) - 1} {
+		var ie *IntegrityError
+		_, err := ReadContainer(bytes.NewReader(orig[:cut]))
+		if err == nil {
+			t.Fatalf("truncation to %d bytes accepted", cut)
+		}
+		if !errors.As(err, &ie) {
+			t.Fatalf("truncation to %d bytes: got %T (%v), want *IntegrityError", cut, err, err)
+		}
+	}
+}
+
+func TestContainerRejectsBadMagicAndVersion(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteContainer(&buf, sampleSections()); err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), buf.Bytes()...)
+	copy(bad, "NOPE")
+	if _, err := ReadContainer(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic accepted")
+	}
+	bad = append([]byte(nil), buf.Bytes()...)
+	bad[4] = 99 // version field
+	if _, err := ReadContainer(bytes.NewReader(bad)); err == nil {
+		t.Error("bad version accepted")
+	}
+}
+
+func TestContainerHugeSectionCountRejected(t *testing.T) {
+	// magic + version(1) + absurd section count; the header checksum is
+	// wrong anyway, but the count cap must fire before any allocation.
+	data := []byte("GLAS\x01\x00\x00\x00\xff\xff\xff\xff")
+	if _, err := ReadContainer(bytes.NewReader(data)); err == nil {
+		t.Fatal("absurd section count accepted")
+	}
+}
+
+func TestWriteContainerRejectsBadSections(t *testing.T) {
+	if err := WriteContainer(&bytes.Buffer{}, []Section{{Name: "", Data: nil}}); err == nil {
+		t.Error("empty section name accepted")
+	}
+}

@@ -1,0 +1,35 @@
+// Package store is the crash-safe, integrity-checked artifact store of
+// the toolkit: the single persistence layer for every expensive on-disk
+// artifact (permutation checkpoints, graph binaries, trace logs) that a
+// crashed, interrupted or concurrent run must be able to trust.
+//
+// It provides four guarantees (see DESIGN.md §11):
+//
+//   - Atomic writes. Every artifact is written with the same-directory
+//     temp-file protocol (write → fsync file → rename → fsync directory),
+//     so a reader can never observe a half-written artifact under its
+//     final name, and a crash at any instant leaves either the old
+//     artifact, the new artifact, or an orphaned temp file — never a torn
+//     one.
+//
+//   - Verified reads. Artifacts live in a versioned container format
+//     (magic, version, section table, per-section length + CRC32C) and
+//     every byte is checksum-verified before it escapes ReadArtifact. A
+//     failed verification yields a typed *IntegrityError.
+//
+//   - Corruption handling. A verified-bad artifact is quarantined by
+//     renaming it to <name>.corrupt (preserving the evidence while
+//     unblocking regeneration), counted via the store's obs.Recorder, and
+//     reported as *IntegrityError so callers can regenerate instead of
+//     aborting.
+//
+//   - Shared-cache locking. Advisory flock-based single-writer /
+//     multi-reader locks (one <name>.lock file per artifact) let
+//     concurrent processes share one cache directory: GetOrCompute
+//     guarantees at most one process computes a given artifact while the
+//     others block and then read the verified result.
+//
+// The write path is instrumented with runctl failpoints (CrashPoints) so
+// the chaos harness can kill or corrupt a write at every protocol step
+// and prove recovery end-to-end.
+package store

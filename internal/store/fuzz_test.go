@@ -1,0 +1,49 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadContainer checks the container reader never panics on corrupt
+// input and that anything it accepts round-trips byte-identically:
+// decode → encode → decode must reproduce the sections, or a verified
+// read could silently hand back different bytes than were stored.
+func FuzzReadContainer(f *testing.F) {
+	var valid bytes.Buffer
+	if err := WriteContainer(&valid, []Section{
+		{Name: "meta", Data: []byte{1, 2, 3, 4, 5, 6, 7, 8}},
+		{Name: "perm", Data: bytes.Repeat([]byte{0xDE, 0xAD}, 64)},
+	}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add(valid.Bytes()[:len(valid.Bytes())-3]) // truncated payload
+	f.Add(valid.Bytes()[:9])                    // truncated header
+	f.Add([]byte("GLAS"))                       // magic only
+	f.Add([]byte("NOPE"))                       // wrong magic
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sections, err := ReadContainer(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteContainer(&out, sections); err != nil {
+			t.Fatalf("re-encoding accepted sections: %v", err)
+		}
+		again, err := ReadContainer(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-reading encoded sections: %v", err)
+		}
+		if len(again) != len(sections) {
+			t.Fatalf("round trip changed section count %d -> %d", len(sections), len(again))
+		}
+		for i := range sections {
+			if sections[i].Name != again[i].Name || !bytes.Equal(sections[i].Data, again[i].Data) {
+				t.Fatalf("round trip changed section %d", i)
+			}
+		}
+	})
+}

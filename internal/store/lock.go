@@ -1,0 +1,79 @@
+package store
+
+// Advisory artifact locking. Each artifact <name> is guarded by a
+// sibling <name>.lock file: writers hold it exclusively, readers hold it
+// shared, so concurrent processes sharing one cache directory never
+// observe each other mid-write and at most one of them computes a given
+// artifact (GetOrCompute).
+//
+// Lock hierarchy (DESIGN.md §11): locks are leaf-level — a holder never
+// acquires a second store lock while holding one, so there is no
+// ordering to violate and no deadlock cycle to form. Lock files are
+// never deleted (deleting a lock file while a peer holds its inode would
+// split later acquirers onto a fresh inode and silently break mutual
+// exclusion), which is why GC leaves them alone.
+//
+// The implementation is flock(2) on unix (lock_unix.go); elsewhere a
+// process-local reader/writer lock keeps in-process semantics correct
+// (lock_fallback.go) without cross-process protection.
+
+// FileLock is one held advisory lock. Release it with Unlock; a process
+// death releases it automatically (the kernel drops flock locks when the
+// last descriptor closes).
+type FileLock struct {
+	handle lockHandle
+	path   string
+	shared bool
+}
+
+// Path returns the lock file's path.
+func (l *FileLock) Path() string { return l.path }
+
+// Shared reports whether the lock is held in shared (reader) mode.
+func (l *FileLock) Shared() bool { return l.shared }
+
+// Unlock releases the lock. Safe to call on a nil lock.
+func (l *FileLock) Unlock() error {
+	if l == nil {
+		return nil
+	}
+	return l.handle.release()
+}
+
+// LockShared acquires the advisory lock at path in shared (reader) mode,
+// blocking while a writer holds it.
+func LockShared(path string) (*FileLock, error) {
+	h, err := acquireLock(path, false, true)
+	if err != nil {
+		return nil, err
+	}
+	return &FileLock{handle: h, path: path, shared: true}, nil
+}
+
+// LockExclusive acquires the advisory lock at path in exclusive (writer)
+// mode, blocking while any reader or writer holds it.
+func LockExclusive(path string) (*FileLock, error) {
+	h, err := acquireLock(path, true, true)
+	if err != nil {
+		return nil, err
+	}
+	return &FileLock{handle: h, path: path, shared: false}, nil
+}
+
+// TryLockExclusive attempts the exclusive lock without blocking. ok is
+// false when another holder has it.
+func TryLockExclusive(path string) (l *FileLock, ok bool, err error) {
+	h, err := acquireLock(path, true, false)
+	if err != nil {
+		return nil, false, err
+	}
+	if h == nil {
+		return nil, false, nil
+	}
+	return &FileLock{handle: h, path: path, shared: false}, true, nil
+}
+
+// lockHandle is the platform half of a FileLock.
+type lockHandle interface {
+	release() error
+}

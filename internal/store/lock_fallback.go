@@ -1,0 +1,67 @@
+//go:build !unix
+
+package store
+
+import (
+	"os"
+	"sync"
+)
+
+// Fallback locking for platforms without flock(2): a process-local
+// reader/writer lock per lock-file path. In-process semantics (the ones
+// the test suite exercises) are identical to the unix implementation;
+// cross-process exclusion is not provided, so concurrent *processes*
+// sharing a cache directory are only safe on unix.
+
+var (
+	fallbackMu    sync.Mutex
+	fallbackLocks = map[string]*sync.RWMutex{}
+)
+
+func fallbackLock(path string) *sync.RWMutex {
+	fallbackMu.Lock()
+	defer fallbackMu.Unlock()
+	mu, ok := fallbackLocks[path]
+	if !ok {
+		mu = &sync.RWMutex{}
+		fallbackLocks[path] = mu
+	}
+	return mu
+}
+
+type fallbackHandle struct {
+	mu        *sync.RWMutex
+	exclusive bool
+}
+
+func (h *fallbackHandle) release() error {
+	if h.exclusive {
+		h.mu.Unlock()
+	} else {
+		h.mu.RUnlock()
+	}
+	return nil
+}
+
+func acquireLock(path string, exclusive, block bool) (lockHandle, error) {
+	// Touch the lock file so directory listings look the same as on unix.
+	if f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644); err == nil {
+		f.Close()
+	}
+	mu := fallbackLock(path)
+	switch {
+	case exclusive && block:
+		mu.Lock()
+	case exclusive && !block:
+		if !mu.TryLock() {
+			return nil, nil
+		}
+	case !exclusive && block:
+		mu.RLock()
+	default:
+		if !mu.TryRLock() {
+			return nil, nil
+		}
+	}
+	return &fallbackHandle{mu: mu, exclusive: exclusive}, nil
+}

@@ -1,0 +1,53 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// flockHandle holds the open descriptor whose flock(2) lock guards the
+// artifact. flock locks belong to the open file description, so two
+// handles — even inside one process — conflict exactly like two
+// processes do, which is what lets tests exercise the cross-process
+// protocol in-process with separate lock handles.
+type flockHandle struct {
+	f *os.File
+}
+
+func (h *flockHandle) release() error {
+	// Closing drops the lock atomically; an explicit LOCK_UN first would
+	// only widen the window where the fd is unlocked but still open.
+	return h.f.Close()
+}
+
+// acquireLock opens (creating if needed) the lock file and flocks it.
+// With block=false a held lock returns (nil, nil).
+func acquireLock(path string, exclusive, block bool) (lockHandle, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	how := syscall.LOCK_SH
+	if exclusive {
+		how = syscall.LOCK_EX
+	}
+	if !block {
+		how |= syscall.LOCK_NB
+	}
+	for {
+		err = syscall.Flock(int(f.Fd()), how)
+		if err != syscall.EINTR {
+			break
+		}
+	}
+	if err != nil {
+		f.Close()
+		if !block && (err == syscall.EWOULDBLOCK || err == syscall.EAGAIN) {
+			return nil, nil
+		}
+		return nil, &os.PathError{Op: "flock", Path: path, Err: err}
+	}
+	return &flockHandle{f: f}, nil
+}

@@ -1,0 +1,353 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"graphlocality/internal/obs"
+)
+
+// Name suffixes with reserved meaning inside a store directory.
+const (
+	// LockSuffix marks per-artifact advisory lock files.
+	LockSuffix = ".lock"
+	// CorruptSuffix marks quarantined artifacts that failed verification.
+	CorruptSuffix = ".corrupt"
+	// tempPrefix marks in-flight atomic-write temp files.
+	tempPrefix = ".tmp-"
+)
+
+// Store is a crash-safe artifact store rooted at one directory. All
+// methods are safe for concurrent use by multiple goroutines and — via
+// per-artifact advisory file locks — by multiple processes sharing the
+// directory. The zero Recorder (nil) disables counting.
+type Store struct {
+	dir string
+	rec obs.Recorder
+}
+
+// Open returns a store rooted at dir, creating the directory if needed.
+// rec (may be nil) receives the store's counters: store.writes,
+// store.verified_reads, store.integrity_errors, store.quarantined.
+func Open(dir string, rec obs.Recorder) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("store: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Store{dir: dir, rec: obs.Of(rec)}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// validName rejects artifact names that could escape the directory or
+// collide with the store's reserved file classes.
+func validName(name string) error {
+	switch {
+	case name == "":
+		return errors.New("store: empty artifact name")
+	case strings.ContainsAny(name, "/\\"), name != filepath.Base(name):
+		return fmt.Errorf("store: artifact name %q contains a path separator", name)
+	case strings.HasPrefix(name, "."):
+		return fmt.Errorf("store: artifact name %q starts with '.' (reserved for temp files)", name)
+	case strings.HasSuffix(name, LockSuffix), strings.HasSuffix(name, CorruptSuffix):
+		return fmt.Errorf("store: artifact name %q uses a reserved suffix", name)
+	}
+	return nil
+}
+
+// Path returns the on-disk path of the named artifact.
+func (s *Store) Path(name string) string { return filepath.Join(s.dir, name) }
+
+func (s *Store) lockPath(name string) string { return s.Path(name) + LockSuffix }
+
+// WriteArtifact atomically writes sections as the named artifact under
+// the artifact's exclusive lock: readers block (or see the previous
+// version) until the new version is fully committed, never a torn file.
+func (s *Store) WriteArtifact(name string, sections []Section) error {
+	if err := validName(name); err != nil {
+		return err
+	}
+	lock, err := LockExclusive(s.lockPath(name))
+	if err != nil {
+		return err
+	}
+	defer lock.Unlock()
+	return s.writeLocked(name, sections)
+}
+
+// writeLocked performs the atomic container write; the caller must hold
+// the artifact's exclusive lock.
+func (s *Store) writeLocked(name string, sections []Section) error {
+	err := WriteFileAtomic(s.Path(name), func(w io.Writer) error {
+		return WriteContainer(w, sections)
+	})
+	if err != nil {
+		return err
+	}
+	s.rec.Counter("store.writes").Inc()
+	return nil
+}
+
+// ReadArtifact reads and fully verifies the named artifact under its
+// shared lock. A verification failure quarantines the file to
+// <name>.corrupt, bumps the store's integrity counters and returns a
+// typed *IntegrityError; os.IsNotExist(err) distinguishes a plain miss.
+func (s *Store) ReadArtifact(name string) ([]Section, error) {
+	if err := validName(name); err != nil {
+		return nil, err
+	}
+	lock, err := LockShared(s.lockPath(name))
+	if err != nil {
+		return nil, err
+	}
+	defer lock.Unlock()
+	return s.readLocked(name)
+}
+
+// readLocked verifies and returns the artifact; the caller must hold the
+// artifact's lock (either mode: quarantine's rename is atomic and
+// concurrent readers of the same corrupt file race benignly — one
+// renames, the rest miss).
+func (s *Store) readLocked(name string) ([]Section, error) {
+	path := s.Path(name)
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	sections, err := ReadContainer(f)
+	f.Close()
+	var ie *IntegrityError
+	if errors.As(err, &ie) {
+		ie.Path = path
+		s.rec.Counter("store.integrity_errors").Inc()
+		if qerr := os.Rename(path, path+CorruptSuffix); qerr == nil {
+			ie.Quarantined = path + CorruptSuffix
+			s.rec.Counter("store.quarantined").Inc()
+		}
+		return nil, ie
+	}
+	if err != nil {
+		return nil, err
+	}
+	s.rec.Counter("store.verified_reads").Inc()
+	return sections, nil
+}
+
+// GetResult is GetOrCompute's outcome.
+type GetResult struct {
+	// Sections is the artifact's verified (or freshly computed) content.
+	Sections []Section
+	// Restored is true when the content came from a verified on-disk
+	// artifact — ours from an earlier run or a peer's from this one —
+	// rather than from compute.
+	Restored bool
+	// WriteErr is non-nil when compute succeeded but the write-through
+	// failed: the result is still usable, it just is not persisted.
+	// Simulated crashes surface here too.
+	WriteErr error
+}
+
+// GetOrCompute returns the named artifact, computing it at most once
+// across all processes sharing the store:
+//
+//  1. With reuse set, an optimistic verified read (shared lock) returns
+//     an existing artifact immediately.
+//  2. Otherwise the artifact's exclusive lock is taken — serializing
+//     with any peer computing the same artifact — and, with reuse set,
+//     the artifact is re-checked: a peer that won the race has already
+//     written it, so it is read instead of recomputed.
+//  3. Only then is compute run and its output written through, still
+//     under the lock.
+//
+// check (may be nil) validates a read artifact's content beyond
+// integrity — e.g. "right vertex count"; a check failure is treated as
+// a miss (the artifact is for a different configuration, not corrupt)
+// and the artifact is recomputed and overwritten. Integrity failures
+// quarantine and count exactly as in ReadArtifact, then regenerate.
+// With reuse false, existing artifacts are ignored and overwritten —
+// the write-through-only mode of a non-resume run.
+func (s *Store) GetOrCompute(name string, reuse bool, check func([]Section) error, compute func() ([]Section, error)) (GetResult, error) {
+	if err := validName(name); err != nil {
+		return GetResult{}, err
+	}
+	tryRead := func(locked bool) ([]Section, bool) {
+		var sections []Section
+		var err error
+		if locked {
+			sections, err = s.readLocked(name)
+		} else {
+			sections, err = s.ReadArtifact(name)
+		}
+		if err != nil {
+			return nil, false
+		}
+		if check != nil {
+			if err := check(sections); err != nil {
+				return nil, false
+			}
+		}
+		return sections, true
+	}
+	if reuse {
+		if sections, ok := tryRead(false); ok {
+			return GetResult{Sections: sections, Restored: true}, nil
+		}
+	}
+	lock, err := LockExclusive(s.lockPath(name))
+	if err != nil {
+		return GetResult{}, err
+	}
+	defer lock.Unlock()
+	if reuse {
+		if sections, ok := tryRead(true); ok {
+			return GetResult{Sections: sections, Restored: true}, nil
+		}
+	}
+	sections, err := compute()
+	if err != nil {
+		return GetResult{}, err
+	}
+	res := GetResult{Sections: sections}
+	res.WriteErr = s.writeLocked(name, sections)
+	return res, nil
+}
+
+// ArtifactInfo describes one file of a store directory as seen by the
+// maintenance commands.
+type ArtifactInfo struct {
+	// Name is the file name relative to the store directory.
+	Name string
+	// Size in bytes.
+	Size int64
+	// Kind classifies the file: "artifact", "temp", "lock", "corrupt",
+	// or "foreign" (present but not a store container).
+	Kind string
+	// Sections counts a verified artifact's sections.
+	Sections int
+	// Err is the verification failure for corrupt artifacts (nil for
+	// verified ones and for non-artifact files).
+	Err error
+}
+
+// Scan classifies every file in the store directory, verifying each
+// artifact-class file's checksums (without quarantining — Scan is a
+// read-only diagnosis; pass quarantine to move verified-bad artifacts
+// aside like ReadArtifact would). Entries come back sorted by name.
+func (s *Store) Scan(quarantine bool) ([]ArtifactInfo, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var infos []ArtifactInfo
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		fi, err := e.Info()
+		if err != nil {
+			continue
+		}
+		info := ArtifactInfo{Name: name, Size: fi.Size()}
+		switch {
+		case strings.HasPrefix(name, tempPrefix):
+			info.Kind = "temp"
+		case strings.HasSuffix(name, LockSuffix):
+			info.Kind = "lock"
+		case strings.HasSuffix(name, CorruptSuffix):
+			info.Kind = "corrupt"
+		default:
+			data, err := os.ReadFile(s.Path(name))
+			if err != nil {
+				info.Kind = "foreign"
+				info.Err = err
+				break
+			}
+			if !IsContainer(data) {
+				info.Kind = "foreign"
+				break
+			}
+			info.Kind = "artifact"
+			sections, err := ReadContainer(bytes.NewReader(data))
+			if err != nil {
+				info.Err = err
+				if quarantine {
+					s.rec.Counter("store.integrity_errors").Inc()
+					if qerr := os.Rename(s.Path(name), s.Path(name)+CorruptSuffix); qerr == nil {
+						s.rec.Counter("store.quarantined").Inc()
+					}
+				}
+			} else {
+				info.Sections = len(sections)
+			}
+		}
+		infos = append(infos, info)
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return infos, nil
+}
+
+// GCOptions configures GC.
+type GCOptions struct {
+	// TempAge is the minimum age before an orphaned ".tmp-*" file is
+	// collected; live writes are seconds long, so the default one hour
+	// can only catch files a dead process left behind. Negative
+	// collects regardless of age (tests).
+	TempAge time.Duration
+	// PurgeCorrupt also removes quarantined ".corrupt" files (the
+	// evidence is otherwise kept for inspection).
+	PurgeCorrupt bool
+}
+
+// GC removes debris a crashed process can leave behind: orphaned atomic-
+// write temp files older than TempAge and, on request, quarantined
+// corrupt artifacts. Lock files are deliberately never removed —
+// unlinking a lock file a peer still holds would hand later acquirers a
+// fresh inode and break mutual exclusion. Returns the removed names.
+func (s *Store) GC(opts GCOptions) ([]string, error) {
+	if opts.TempAge == 0 {
+		opts.TempAge = time.Hour
+	}
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var removed []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		switch {
+		case strings.HasPrefix(name, tempPrefix):
+			fi, err := e.Info()
+			if err != nil {
+				continue
+			}
+			if opts.TempAge > 0 && time.Since(fi.ModTime()) < opts.TempAge {
+				continue
+			}
+		case strings.HasSuffix(name, CorruptSuffix):
+			if !opts.PurgeCorrupt {
+				continue
+			}
+		default:
+			continue
+		}
+		if err := os.Remove(s.Path(name)); err == nil {
+			removed = append(removed, name)
+		}
+	}
+	sort.Strings(removed)
+	return removed, nil
+}

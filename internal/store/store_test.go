@@ -1,0 +1,298 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"graphlocality/internal/obs"
+)
+
+func openTestStore(t *testing.T) (*Store, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	s, err := Open(t.TempDir(), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, reg
+}
+
+func TestStoreWriteReadRoundTrip(t *testing.T) {
+	s, reg := openTestStore(t)
+	want := sampleSections()
+	if err := s.WriteArtifact("a.perm", want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.ReadArtifact("a.perm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) || !bytes.Equal(got[1].Data, want[1].Data) {
+		t.Fatalf("round trip mismatch: %d sections", len(got))
+	}
+	if n := reg.Counter("store.writes").Value(); n != 1 {
+		t.Errorf("store.writes = %d, want 1", n)
+	}
+	if n := reg.Counter("store.verified_reads").Value(); n != 1 {
+		t.Errorf("store.verified_reads = %d, want 1", n)
+	}
+}
+
+func TestStoreMissIsNotExist(t *testing.T) {
+	s, _ := openTestStore(t)
+	_, err := s.ReadArtifact("missing.perm")
+	if !os.IsNotExist(err) {
+		t.Fatalf("miss error = %v, want IsNotExist", err)
+	}
+}
+
+func TestStoreRejectsBadNames(t *testing.T) {
+	s, _ := openTestStore(t)
+	for _, name := range []string{"", "../escape", "a/b", ".tmp-x", "x.lock", "x.corrupt"} {
+		if err := s.WriteArtifact(name, sampleSections()); err == nil {
+			t.Errorf("name %q accepted", name)
+		}
+	}
+}
+
+// TestStoreQuarantinesCorruptArtifact: a verified-bad artifact must come
+// back as *IntegrityError, be moved to <name>.corrupt, and be counted.
+func TestStoreQuarantinesCorruptArtifact(t *testing.T) {
+	s, reg := openTestStore(t)
+	if err := s.WriteArtifact("a.perm", sampleSections()); err != nil {
+		t.Fatal(err)
+	}
+	path := s.Path("a.perm")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = s.ReadArtifact("a.perm")
+	var ie *IntegrityError
+	if !errors.As(err, &ie) {
+		t.Fatalf("corrupt read error = %T (%v), want *IntegrityError", err, err)
+	}
+	if ie.Path != path {
+		t.Errorf("IntegrityError.Path = %q, want %q", ie.Path, path)
+	}
+	if ie.Quarantined != path+CorruptSuffix {
+		t.Errorf("IntegrityError.Quarantined = %q", ie.Quarantined)
+	}
+	if _, err := os.Stat(path + CorruptSuffix); err != nil {
+		t.Errorf("quarantine file missing: %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("corrupt artifact still under its final name: %v", err)
+	}
+	if n := reg.Counter("store.integrity_errors").Value(); n != 1 {
+		t.Errorf("store.integrity_errors = %d, want 1", n)
+	}
+	if n := reg.Counter("store.quarantined").Value(); n != 1 {
+		t.Errorf("store.quarantined = %d, want 1", n)
+	}
+	// The quarantined slot is a plain miss now: regeneration can proceed.
+	if _, err := s.ReadArtifact("a.perm"); !os.IsNotExist(err) {
+		t.Errorf("after quarantine, read error = %v, want IsNotExist", err)
+	}
+}
+
+func TestGetOrComputeComputesOnceThenRestores(t *testing.T) {
+	s, _ := openTestStore(t)
+	var computes atomic.Int32
+	compute := func() ([]Section, error) {
+		computes.Add(1)
+		return []Section{{Name: "v", Data: []byte("payload")}}, nil
+	}
+	res, err := s.GetOrCompute("x.bin", true, nil, compute)
+	if err != nil || res.WriteErr != nil {
+		t.Fatal(err, res.WriteErr)
+	}
+	if res.Restored {
+		t.Error("first GetOrCompute reported Restored")
+	}
+	res, err = s.GetOrCompute("x.bin", true, nil, compute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Restored {
+		t.Error("second GetOrCompute did not restore")
+	}
+	if d, _ := FindSection(res.Sections, "v"); string(d) != "payload" {
+		t.Errorf("restored payload %q", d)
+	}
+	if n := computes.Load(); n != 1 {
+		t.Errorf("compute ran %d times, want 1", n)
+	}
+}
+
+func TestGetOrComputeCheckRejectionRecomputes(t *testing.T) {
+	s, _ := openTestStore(t)
+	if err := s.WriteArtifact("x.bin", []Section{{Name: "v", Data: []byte("old-config")}}); err != nil {
+		t.Fatal(err)
+	}
+	check := func(sections []Section) error {
+		if d, _ := FindSection(sections, "v"); string(d) != "new-config" {
+			return fmt.Errorf("wrong configuration")
+		}
+		return nil
+	}
+	var computes atomic.Int32
+	res, err := s.GetOrCompute("x.bin", true, check, func() ([]Section, error) {
+		computes.Add(1)
+		return []Section{{Name: "v", Data: []byte("new-config")}}, nil
+	})
+	if err != nil || res.WriteErr != nil {
+		t.Fatal(err, res.WriteErr)
+	}
+	if res.Restored || computes.Load() != 1 {
+		t.Fatalf("restored=%v computes=%d, want recompute", res.Restored, computes.Load())
+	}
+	// The rejected artifact was overwritten with the new configuration.
+	res, err = s.GetOrCompute("x.bin", true, check, func() ([]Section, error) {
+		t.Fatal("recompute after overwrite")
+		return nil, nil
+	})
+	if err != nil || !res.Restored {
+		t.Fatalf("err=%v restored=%v after overwrite", err, res.Restored)
+	}
+}
+
+func TestGetOrComputeNoReuseOverwrites(t *testing.T) {
+	s, _ := openTestStore(t)
+	var computes atomic.Int32
+	compute := func() ([]Section, error) {
+		computes.Add(1)
+		return []Section{{Name: "v", Data: []byte(fmt.Sprintf("run-%d", computes.Load()))}}, nil
+	}
+	for i := 0; i < 2; i++ {
+		res, err := s.GetOrCompute("x.bin", false, nil, compute)
+		if err != nil || res.WriteErr != nil || res.Restored {
+			t.Fatalf("run %d: err=%v writeErr=%v restored=%v", i, err, res.WriteErr, res.Restored)
+		}
+	}
+	if computes.Load() != 2 {
+		t.Fatalf("reuse=false computed %d times, want 2", computes.Load())
+	}
+}
+
+// TestGetOrComputeConcurrentSingleFlight races many goroutines with
+// separate lock handles on one artifact: exactly one computes, the rest
+// restore the identical bytes.
+func TestGetOrComputeConcurrentSingleFlight(t *testing.T) {
+	dir := t.TempDir()
+	var computes atomic.Int32
+	const workers = 8
+	results := make([][]byte, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s, err := Open(dir, nil) // each worker: its own Store => own lock fds
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			res, err := s.GetOrCompute("shared.bin", true, nil, func() ([]Section, error) {
+				computes.Add(1)
+				time.Sleep(20 * time.Millisecond) // widen the race window
+				return []Section{{Name: "v", Data: []byte("the-one-result")}}, nil
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			d, _ := FindSection(res.Sections, "v")
+			results[i] = d
+		}(i)
+	}
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Errorf("%d computes across %d racing workers, want 1", n, workers)
+	}
+	for i, d := range results {
+		if string(d) != "the-one-result" {
+			t.Errorf("worker %d got %q", i, d)
+		}
+	}
+}
+
+func TestScanClassifiesAndGCCollects(t *testing.T) {
+	s, _ := openTestStore(t)
+	if err := s.WriteArtifact("good.bin", sampleSections()); err != nil {
+		t.Fatal(err)
+	}
+	// A corrupt artifact, a foreign file, and an orphaned temp file.
+	if err := s.WriteArtifact("bad.bin", sampleSections()); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(s.Path("bad.bin"))
+	data[len(data)-2] ^= 0x10
+	os.WriteFile(s.Path("bad.bin"), data, 0o644)
+	os.WriteFile(s.Path("legacy.txt"), []byte("not a container"), 0o644)
+	os.WriteFile(filepath.Join(s.Dir(), ".tmp-orphan-123"), []byte("partial"), 0o644)
+
+	infos, err := s.Scan(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[string]string{}
+	for _, in := range infos {
+		kinds[in.Name] = in.Kind
+		if in.Name == "bad.bin" && in.Err == nil {
+			t.Error("Scan missed the corruption in bad.bin")
+		}
+		if in.Name == "good.bin" && (in.Err != nil || in.Sections != 3) {
+			t.Errorf("good.bin: err=%v sections=%d", in.Err, in.Sections)
+		}
+	}
+	for name, want := range map[string]string{
+		"good.bin": "artifact", "bad.bin": "artifact", "legacy.txt": "foreign",
+		".tmp-orphan-123": "temp", "good.bin.lock": "lock",
+	} {
+		if kinds[name] != want {
+			t.Errorf("Scan kind of %s = %q, want %q", name, kinds[name], want)
+		}
+	}
+
+	// Scan with quarantine moves bad.bin aside; GC then purges it and the
+	// orphaned temp file, but never lock files.
+	if _, err := s.Scan(true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(s.Path("bad.bin" + CorruptSuffix)); err != nil {
+		t.Fatalf("quarantine after Scan(true): %v", err)
+	}
+	removed, err := s.GC(GCOptions{TempAge: -1, PurgeCorrupt: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{".tmp-orphan-123", "bad.bin" + CorruptSuffix}
+	if len(removed) != 2 || removed[0] != want[0] || removed[1] != want[1] {
+		t.Errorf("GC removed %v, want %v", removed, want)
+	}
+	if _, err := os.Stat(s.Path("good.bin")); err != nil {
+		t.Errorf("GC touched a healthy artifact: %v", err)
+	}
+	if _, err := os.Stat(s.Path("good.bin" + LockSuffix)); err != nil {
+		t.Errorf("GC removed a lock file: %v", err)
+	}
+	// Fresh temp files survive the default age gate.
+	os.WriteFile(filepath.Join(s.Dir(), ".tmp-live-1"), []byte("x"), 0o644)
+	removed, err = s.GC(GCOptions{})
+	if err != nil || len(removed) != 0 {
+		t.Errorf("GC with default age removed %v (err %v)", removed, err)
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash"
+	"hash/crc32"
 	"io"
 )
 
@@ -13,16 +15,27 @@ import (
 // geometries without regenerating the traversal).
 //
 // Layout (little-endian): magic "GLTR", version, thread count, then per
-// thread: thread id, access count, and packed 24-byte access records
-// (addr u64, vertex u32, dest u32, kind u8, write u8, 6 pad bytes
-// implied by field layout — records are written field by field).
+// thread one frame: thread id, access count, packed 24-byte access
+// records (addr u64, vertex u32, dest u32, kind u8, write u8, 6 pad
+// bytes — records are written field by field), and — since version 2 —
+// a CRC32C over the frame's bytes (id + count + records). A bit flip or
+// torn tail in an archived trace is caught at the damaged frame instead
+// of silently replaying a different access stream. Version-1 streams
+// (no frame checksums) are still read.
 
 const (
 	traceMagic   = "GLTR"
-	traceVersion = 1
+	traceVersion = 2
+	// traceVersionLegacy is the pre-checksum format, accepted on read.
+	traceVersionLegacy = 1
 )
 
-// WriteLogs serializes thread logs to w.
+// traceCastagnoli is the CRC32C polynomial, matching the framing used by
+// internal/store artifacts.
+var traceCastagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// WriteLogs serializes thread logs to w in the current (checksummed)
+// format version.
 func WriteLogs(logs []ThreadLog, w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(traceMagic); err != nil {
@@ -35,10 +48,14 @@ func WriteLogs(logs []ThreadLog, w io.Writer) error {
 		return err
 	}
 	for _, lg := range logs {
-		if err := binary.Write(bw, binary.LittleEndian, uint32(lg.Thread)); err != nil {
+		// The frame CRC covers everything from the thread id through the
+		// last record, so it is accumulated alongside the writes.
+		frameCRC := crc32.New(traceCastagnoli)
+		fw := io.MultiWriter(bw, frameCRC)
+		if err := binary.Write(fw, binary.LittleEndian, uint32(lg.Thread)); err != nil {
 			return err
 		}
-		if err := binary.Write(bw, binary.LittleEndian, uint64(len(lg.Accesses))); err != nil {
+		if err := binary.Write(fw, binary.LittleEndian, uint64(len(lg.Accesses))); err != nil {
 			return err
 		}
 		for _, a := range lg.Accesses {
@@ -50,9 +67,12 @@ func WriteLogs(logs []ThreadLog, w io.Writer) error {
 				Addr: a.Addr, Vertex: a.Vertex, Dest: a.Dest,
 				Kind: uint8(a.Kind), Write: wr,
 			}
-			if err := binary.Write(bw, binary.LittleEndian, rec); err != nil {
+			if err := binary.Write(fw, binary.LittleEndian, rec); err != nil {
 				return err
 			}
+		}
+		if err := binary.Write(bw, binary.LittleEndian, frameCRC.Sum32()); err != nil {
+			return err
 		}
 	}
 	return bw.Flush()
@@ -68,7 +88,25 @@ type packedAccess struct {
 	_      [6]uint8 // explicit padding keeps the record size stable
 }
 
-// ReadLogs deserializes thread logs written by WriteLogs.
+// hashingReader accumulates a CRC over exactly the bytes the consumer
+// reads, so a frame checksum compares against the consumed frame.
+type hashingReader struct {
+	r io.Reader
+	h hash.Hash32
+}
+
+func (hr *hashingReader) Read(p []byte) (int, error) {
+	n, err := hr.r.Read(p)
+	if n > 0 {
+		hr.h.Write(p[:n])
+	}
+	return n, err
+}
+
+// ReadLogs deserializes thread logs written by WriteLogs. Version-2
+// streams have every frame verified against its CRC32C before its
+// accesses are returned; legacy version-1 streams decode without
+// verification.
 func ReadLogs(r io.Reader) ([]ThreadLog, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(traceMagic))
@@ -82,7 +120,7 @@ func ReadLogs(r io.Reader) ([]ThreadLog, error) {
 	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
 		return nil, err
 	}
-	if version != traceVersion {
+	if version != traceVersion && version != traceVersionLegacy {
 		return nil, fmt.Errorf("trace: unsupported version %d", version)
 	}
 	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
@@ -90,12 +128,18 @@ func ReadLogs(r io.Reader) ([]ThreadLog, error) {
 	}
 	logs := make([]ThreadLog, 0, count)
 	for i := uint32(0); i < count; i++ {
+		var fr io.Reader = br
+		var frameCRC hash.Hash32
+		if version >= traceVersion {
+			frameCRC = crc32.New(traceCastagnoli)
+			fr = &hashingReader{r: br, h: frameCRC}
+		}
 		var thread uint32
 		var n uint64
-		if err := binary.Read(br, binary.LittleEndian, &thread); err != nil {
+		if err := binary.Read(fr, binary.LittleEndian, &thread); err != nil {
 			return nil, err
 		}
-		if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		if err := binary.Read(fr, binary.LittleEndian, &n); err != nil {
 			return nil, err
 		}
 		lg := ThreadLog{Thread: int(thread)}
@@ -108,7 +152,7 @@ func ReadLogs(r io.Reader) ([]ThreadLog, error) {
 				c = chunk
 			}
 			buf := make([]packedAccess, c)
-			if err := binary.Read(br, binary.LittleEndian, buf); err != nil {
+			if err := binary.Read(fr, binary.LittleEndian, buf); err != nil {
 				return nil, fmt.Errorf("trace: reading accesses: %w", err)
 			}
 			for _, rec := range buf {
@@ -118,6 +162,15 @@ func ReadLogs(r io.Reader) ([]ThreadLog, error) {
 				})
 			}
 			read += c
+		}
+		if frameCRC != nil {
+			var got uint32
+			if err := binary.Read(br, binary.LittleEndian, &got); err != nil {
+				return nil, fmt.Errorf("trace: thread %d: reading frame checksum: %w", thread, err)
+			}
+			if want := frameCRC.Sum32(); got != want {
+				return nil, fmt.Errorf("trace: thread %d: frame checksum mismatch (file %08x, computed %08x)", thread, got, want)
+			}
 		}
 		logs = append(logs, lg)
 	}
