@@ -1,14 +1,31 @@
 # Tier-1 verification lives in verify.sh; `make verify` is the one command
 # to run before committing.
-.PHONY: verify build test race vet bench
+.PHONY: verify build test race vet bench bench-parallel bench-pipeline bench-diff
 
 verify:
 	./verify.sh
 
+# All benchmark artifacts: the scheduler comparison and the batched
+# fast-path comparison.
+bench: bench-parallel bench-pipeline
+
 # Times a representative experiment grid at -parallel 1 vs the machine's
 # core count and writes the comparison to BENCH_parallel.json.
-bench:
+bench-parallel:
 	go run ./cmd/localitylab bench -size standard -out BENCH_parallel.json
+
+# Times the simulation stack itself — cachesim/trace microbenchmarks and
+# batched-vs-scalar SimulateSpMV over the standard dataset suite — and
+# writes BENCH_pipeline.json, the committed baseline `bench diff` gates
+# against.
+bench-pipeline:
+	go run ./cmd/localitylab bench pipeline -size standard -out BENCH_pipeline.json
+
+# Regression gate: re-runs the pipeline benchmarks into a scratch report
+# and compares it against the committed baseline with the CI tolerance.
+bench-diff:
+	go run ./cmd/localitylab bench pipeline -size standard -out /tmp/BENCH_pipeline.json
+	go run ./cmd/localitylab bench diff BENCH_pipeline.json /tmp/BENCH_pipeline.json
 
 build:
 	go build ./...

@@ -154,8 +154,10 @@ Commands:
               fig1..fig6, edr, gap, ihtl, hybrid, hilbert, utilization, all)
   obs         inspect run manifests: obs show <m.json>, obs diff <a> <b>
   store       maintain a -cachedir artifact store: store stat|verify|gc -dir D
-  bench       time a representative experiment grid serial vs parallel and
-              write BENCH_parallel.json`)
+  bench       performance harness: bench parallel (experiment grid serial vs
+              parallel -> BENCH_parallel.json), bench pipeline (batched vs
+              scalar simulation stack -> BENCH_pipeline.json), bench diff
+              [-tolerance 1.5] <baseline> <current> (regression gate)`)
 }
 
 func loadGraph(path string) (*graph.Graph, error) {
@@ -758,11 +760,30 @@ func cmdExperiment(args []string) error {
 	return finish()
 }
 
-// cmdBench times a representative experiment grid twice — serial
+// cmdBench dispatches the benchmark modes: "parallel" (the default, and
+// assumed when the first argument is a flag, for compatibility) compares
+// the experiment scheduler's serial and parallel passes; "pipeline" times
+// the simulation stack itself (see bench.go); "diff" gates a current
+// pipeline report against a committed baseline.
+func cmdBench(args []string) error {
+	if len(args) > 0 {
+		switch args[0] {
+		case "pipeline":
+			return cmdBenchPipeline(args[1:])
+		case "diff":
+			return cmdBenchDiff(args[1:])
+		case "parallel":
+			args = args[1:]
+		}
+	}
+	return cmdBenchParallel(args)
+}
+
+// cmdBenchParallel times a representative experiment grid twice — serial
 // (-parallel 1) and parallel — and writes the comparison as JSON. Each run
 // uses a fresh Session so the parallel pass cannot reuse memoized results
 // from the serial pass.
-func cmdBench(args []string) error {
+func cmdBenchParallel(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	sizeName := fs.String("size", "standard", "dataset scale: tiny or standard")
 	out := fs.String("out", "BENCH_parallel.json", "output JSON path")

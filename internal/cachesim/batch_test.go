@@ -1,0 +1,333 @@
+package cachesim
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// State-level differential tests for AccessBatch. The core differential
+// suite compares end-to-end SimResults; these compare the *complete*
+// internal cache state — tags, valid, dirty, replacement metadata, PSEL,
+// BRRIP counter, LRU clock, per-set occupancy and statistics — after every
+// batch cut, so a divergence is caught at the first access that drifts
+// rather than smeared into an end-of-run counter diff.
+
+// assertSameState compares every piece of mutable state of two caches.
+func assertSameState(t *testing.T, name string, want, got *Cache) {
+	t.Helper()
+	if want.stats != got.stats {
+		t.Fatalf("%s: stats = %+v, want %+v", name, got.stats, want.stats)
+	}
+	if want.psel != got.psel || want.clock != got.clock || want.brripCtr != got.brripCtr {
+		t.Fatalf("%s: (psel,clock,brripCtr) = (%d,%d,%d), want (%d,%d,%d)",
+			name, got.psel, got.clock, got.brripCtr, want.psel, want.clock, want.brripCtr)
+	}
+	if !reflect.DeepEqual(want.tags, got.tags) {
+		t.Fatalf("%s: tags diverge", name)
+	}
+	if !reflect.DeepEqual(want.valid, got.valid) {
+		t.Fatalf("%s: valid bits diverge", name)
+	}
+	if !reflect.DeepEqual(want.dirty, got.dirty) {
+		t.Fatalf("%s: dirty bits diverge", name)
+	}
+	if !reflect.DeepEqual(want.meta, got.meta) {
+		t.Fatalf("%s: replacement metadata diverges", name)
+	}
+	if !reflect.DeepEqual(want.occ, got.occ) {
+		t.Fatalf("%s: per-set occupancy diverges", name)
+	}
+}
+
+// runDifferential drives the same stream through scalar Access and through
+// AccessBatch cut at the given block size, comparing per-access results and
+// full state after every block.
+func runDifferential(t *testing.T, name string, cfg Config, addrs []uint64, writes []bool, blockSize int) {
+	t.Helper()
+	scalar, batched := New(cfg), New(cfg)
+	hits := make([]bool, blockSize)
+	for lo := 0; lo < len(addrs); lo += blockSize {
+		hi := lo + blockSize
+		if hi > len(addrs) {
+			hi = len(addrs)
+		}
+		block := addrs[lo:hi]
+		var wblock []bool
+		if writes != nil {
+			wblock = writes[lo:hi]
+		}
+		n := batched.AccessBatch(block, wblock, hits[:len(block)])
+		nScalar := 0
+		for i, a := range block {
+			w := writes != nil && writes[lo+i]
+			hit := scalar.Access(a, w)
+			if hit {
+				nScalar++
+			}
+			if hits[i] != hit {
+				t.Fatalf("%s: access %d (addr %#x): batched hit=%v, scalar hit=%v",
+					name, lo+i, a, hits[i], hit)
+			}
+		}
+		if n != nScalar {
+			t.Fatalf("%s: block [%d,%d): batched %d hits, scalar %d", name, lo, hi, n, nScalar)
+		}
+		assertSameState(t, fmt.Sprintf("%s after block [%d,%d)", name, lo, hi), scalar, batched)
+	}
+}
+
+// mixedStream generates a stream mixing sequential runs (edge-array-like),
+// random single accesses (vertex-data-like) and occasional writes, confined
+// to a window that keeps the cache under contention.
+func mixedStream(rng *rand.Rand, n int, window uint64) ([]uint64, []bool) {
+	addrs := make([]uint64, 0, n)
+	writes := make([]bool, 0, n)
+	for len(addrs) < n {
+		switch rng.Intn(3) {
+		case 0: // sequential run
+			base := rng.Uint64() % window
+			for k := 0; k < 8 && len(addrs) < n; k++ {
+				addrs = append(addrs, base+uint64(k)*8)
+				writes = append(writes, false)
+			}
+		case 1: // random read
+			addrs = append(addrs, rng.Uint64()%window)
+			writes = append(writes, false)
+		default: // random write
+			addrs = append(addrs, rng.Uint64()%window)
+			writes = append(writes, true)
+		}
+	}
+	return addrs, writes
+}
+
+// TestAccessBatchMatchesScalar sweeps policy × prefetch × batch cut over a
+// contended mixed stream.
+func TestAccessBatchMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	addrs, writes := mixedStream(rng, 20000, 1<<20)
+	for _, pol := range []Policy{LRU, SRRIP, BRRIP, DRRIP} {
+		for _, prefetch := range []bool{false, true} {
+			// 64 sets × 8 ways: small enough to thrash, 8 ways exercises
+			// the tree-reduction victim scan.
+			cfg := Config{LineSize: 64, Sets: 64, Ways: 8, Policy: pol, NextLinePrefetch: prefetch}
+			// Block size 1 pins per-access equivalence; 7 lands cuts at
+			// awkward offsets; 4096 is the production block size.
+			for _, bs := range []int{1, 7, 4096} {
+				name := fmt.Sprintf("%s/prefetch=%v/bs=%d", pol, prefetch, bs)
+				runDifferential(t, name, cfg, addrs, writes, bs)
+			}
+		}
+	}
+}
+
+// TestAccessBatchOddWays covers the non-power-of-two associativities that
+// take the generic victim-scan paths (ways<=16 masked scan, ways>16 branchy
+// scan) instead of the ways==8 tree reduction.
+func TestAccessBatchOddWays(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	addrs, writes := mixedStream(rng, 8000, 1<<18)
+	for _, ways := range []int{1, 3, 11, 12, 16, 24} {
+		cfg := Config{LineSize: 64, Sets: 16, Ways: ways, Policy: DRRIP}
+		runDifferential(t, fmt.Sprintf("ways=%d", ways), cfg, addrs, writes, 97)
+	}
+}
+
+// TestAccessBatchDRRIPLeaderBoundary drives a batch whose accesses alternate
+// across the SRRIP-leader set (set 0), the BRRIP-leader set (set 1) and a
+// follower set within one block, checking that the branchless PSEL updates
+// and the role-dependent insertions agree with the scalar path exactly —
+// including the final PSEL value, read directly.
+func TestAccessBatchDRRIPLeaderBoundary(t *testing.T) {
+	cfg := Config{LineSize: 64, Sets: 64, Ways: 2, Policy: DRRIP}
+	// With 64-byte lines and 64 sets, set(addr) = (addr>>6)&63. Conflict
+	// misses in sets 0, 1 and 40: every miss in a leader set moves PSEL.
+	var addrs []uint64
+	for k := 0; k < 2000; k++ {
+		set := uint64([]int{0, 1, 40}[k%3])
+		tag := uint64(k % 7) // 7 tags > 2 ways: constant conflict misses
+		addrs = append(addrs, (tag<<6|set)<<6)
+	}
+	scalar, batched := New(cfg), New(cfg)
+	for _, a := range addrs {
+		scalar.Access(a, false)
+	}
+	// One batch spanning every leader-set transition.
+	batched.AccessBatch(addrs, nil, nil)
+	assertSameState(t, "drrip-leaders", scalar, batched)
+	if scalar.psel == pselInit {
+		t.Fatal("stream never moved PSEL; test exercises nothing")
+	}
+	// PSEL saturation at both rails: hammer only the SRRIP leader, then
+	// only the BRRIP leader, far past the counter range.
+	scalar.Reset()
+	batched.Reset()
+	var rail []uint64
+	for k := 0; k < 3*pselMax; k++ {
+		rail = append(rail, uint64(k%5)<<12) // set 0, 5 conflicting tags
+	}
+	for k := 0; k < 3*pselMax; k++ {
+		rail = append(rail, uint64(k%5)<<12|1<<6) // set 1
+	}
+	for _, a := range rail {
+		scalar.Access(a, false)
+	}
+	batched.AccessBatch(rail, nil, nil)
+	assertSameState(t, "psel-rails", scalar, batched)
+}
+
+// TestAccessBatchPrefetchAddressWrap pins next-line prefetching at the top
+// of the address space. With lineBits > 0 the last line's successor is a
+// phantom line index just past the address space (2^(64-lineBits)), which
+// occupies a way but is unreachable by any demand address; with lineBits ==
+// 0 the line index spans the full 64 bits and line+1 genuinely wraps to
+// line 0. Both paths share prefetch(), so what matters is that the batched
+// miss path calls it with the same argument and the states stay identical.
+func TestAccessBatchPrefetchAddressWrap(t *testing.T) {
+	t.Run("phantom-line", func(t *testing.T) {
+		cfg := Config{LineSize: 64, Sets: 16, Ways: 4, Policy: SRRIP, NextLinePrefetch: true}
+		lastLine := (^uint64(0)) >> 6 // line index of the top of the address space
+		addrs := []uint64{
+			lastLine << 6,       // miss; prefetches the phantom line 2^58
+			(lastLine - 1) << 6, // miss; prefetches lastLine (already resident)
+			^uint64(0),          // last byte of the address space, same last line
+		}
+		scalar, batched := New(cfg), New(cfg)
+		hits := make([]bool, len(addrs))
+		batched.AccessBatch(addrs, nil, hits)
+		for _, a := range addrs {
+			scalar.Access(a, false)
+		}
+		assertSameState(t, "phantom-line", scalar, batched)
+		if !hits[2] {
+			t.Fatal("second access to the last line missed")
+		}
+		// Only the phantom line counts: re-prefetching the already-resident
+		// lastLine returns before touching the counter.
+		if p := batched.Stats().Prefetches; p != 1 {
+			t.Fatalf("Prefetches = %d, want 1", p)
+		}
+	})
+	t.Run("true-wrap", func(t *testing.T) {
+		// 1-byte lines: line == addr, so the successor of ^uint64(0) wraps
+		// to line 0. Sets > 1 keeps this on the fast tag-only path.
+		cfg := Config{LineSize: 1, Sets: 16, Ways: 4, Policy: LRU, NextLinePrefetch: true}
+		addrs := []uint64{
+			^uint64(0), // miss; prefetch(line+1) wraps to line 0
+			0,          // must hit the wrapped prefetch
+		}
+		scalar, batched := New(cfg), New(cfg)
+		hits := make([]bool, len(addrs))
+		batched.AccessBatch(addrs, nil, hits)
+		for _, a := range addrs {
+			scalar.Access(a, false)
+		}
+		assertSameState(t, "true-wrap", scalar, batched)
+		if !hits[1] {
+			t.Fatal("access to line 0 missed; prefetch(^uint64(0)+1) did not wrap")
+		}
+	})
+}
+
+// TestTLBAccessBatchPageStraddle sends a batch whose consecutive addresses
+// straddle page boundaries — the last byte of one page followed by the
+// first of the next — plus re-touches, and checks per-access results and
+// state against the scalar TLB.
+func TestTLBAccessBatchPageStraddle(t *testing.T) {
+	cfg := TLBConfig{PageSize: 4096, Entries: 16, Ways: 4}
+	var addrs []uint64
+	for p := uint64(0); p < 40; p++ {
+		addrs = append(addrs,
+			p*4096+4095, // last byte of page p
+			(p+1)*4096,  // first byte of page p+1
+			p*4096+2048, // back into page p: must hit
+		)
+	}
+	scalar, batched := NewTLB(cfg), NewTLB(cfg)
+	hits := make([]bool, len(addrs))
+	batched.AccessBatch(addrs, hits)
+	for i, a := range addrs {
+		if hit := scalar.Access(a); hit != hits[i] {
+			t.Fatalf("access %d (addr %#x): batched hit=%v, scalar hit=%v", i, a, hits[i], hit)
+		}
+	}
+	assertSameState(t, "tlb-straddle", scalar.c, batched.c)
+}
+
+// TestHierarchyAccessBatchMatchesScalar compares the miss-compacted
+// hierarchy walk against the scalar per-access walk: per-access hit levels
+// and the full state of every level.
+func TestHierarchyAccessBatchMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	addrs, writes := mixedStream(rng, 12000, 1<<19)
+	mk := func() *Hierarchy {
+		return NewHierarchy(
+			Config{Name: "L1", LineSize: 64, Sets: 8, Ways: 2, Policy: LRU},
+			Config{Name: "L2", LineSize: 64, Sets: 32, Ways: 4, Policy: SRRIP},
+			Config{Name: "L3", LineSize: 64, Sets: 64, Ways: 8, Policy: DRRIP},
+		)
+	}
+	scalar, batched := mk(), mk()
+	for _, bs := range []int{1, 13, 4096} {
+		scalar.Reset()
+		batched.Reset()
+		levels := make([]int, bs)
+		for lo := 0; lo < len(addrs); lo += bs {
+			hi := lo + bs
+			if hi > len(addrs) {
+				hi = len(addrs)
+			}
+			batched.AccessBatch(addrs[lo:hi], writes[lo:hi], levels[:hi-lo])
+			for i := lo; i < hi; i++ {
+				want := scalar.Access(addrs[i], writes[i])
+				if levels[i-lo] != want {
+					t.Fatalf("bs=%d: access %d hit level %d, want %d", bs, i, levels[i-lo], want)
+				}
+			}
+			for li := 0; li < scalar.Levels(); li++ {
+				assertSameState(t, fmt.Sprintf("bs=%d level %d after [%d,%d)", bs, li, lo, hi),
+					scalar.levels[li], batched.levels[li])
+			}
+		}
+	}
+}
+
+// TestAccessBatchDegenerateGeometry pins the scalar fallback for the
+// 1-byte-line single-set cache, where a real tag can equal invalidTag and
+// the tag-only probe would be wrong.
+func TestAccessBatchDegenerateGeometry(t *testing.T) {
+	cfg := Config{LineSize: 1, Sets: 1, Ways: 2, Policy: LRU}
+	// Includes ^uint64(0), whose tag IS invalidTag under this geometry.
+	addrs := []uint64{0, 1, ^uint64(0), 0, ^uint64(0), 2, 1, ^uint64(0)}
+	scalar, batched := New(cfg), New(cfg)
+	hits := make([]bool, len(addrs))
+	batched.AccessBatch(addrs, nil, hits)
+	for i, a := range addrs {
+		if hit := scalar.Access(a, false); hit != hits[i] {
+			t.Fatalf("access %d (addr %#x): batched hit=%v, scalar hit=%v", i, a, hits[i], hit)
+		}
+	}
+	assertSameState(t, "degenerate", scalar, batched)
+}
+
+// TestOccTracksValid cross-checks the per-set occupancy counters against a
+// recount of the valid bits after a contended run with prefetching.
+func TestOccTracksValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	addrs, writes := mixedStream(rng, 10000, 1<<16)
+	c := New(Config{LineSize: 64, Sets: 16, Ways: 8, Policy: DRRIP, NextLinePrefetch: true})
+	c.AccessBatch(addrs, writes, nil)
+	for set := 0; set < c.cfg.Sets; set++ {
+		n := uint16(0)
+		for w := 0; w < c.cfg.Ways; w++ {
+			if c.valid[set*c.cfg.Ways+w] {
+				n++
+			}
+		}
+		if c.occ[set] != n {
+			t.Fatalf("set %d: occ=%d but %d valid ways", set, c.occ[set], n)
+		}
+	}
+}

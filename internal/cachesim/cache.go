@@ -64,6 +64,12 @@ const (
 	leaderPeriod = 32
 )
 
+// invalidTag marks never-filled ways in the tags array, letting the batched
+// probe match on the tag alone. A real tag is addr >> (lineBits+setBits),
+// so it can only equal invalidTag when lineBits+setBits == 0 — AccessBatch
+// falls back to the valid-bit probe for that degenerate geometry.
+const invalidTag = ^uint64(0)
+
 // Config describes cache geometry and policy.
 type Config struct {
 	Name     string // for reporting ("L3", "DTLB", ...)
@@ -133,6 +139,7 @@ func (s Stats) Record(rec obs.Recorder, prefix string) {
 type Cache struct {
 	cfg      Config
 	lineBits uint
+	setBits  uint // log2(Sets); tag = line >> setBits
 	setMask  uint64
 
 	// Per-line state, indexed by set*ways+way.
@@ -140,6 +147,11 @@ type Cache struct {
 	valid []bool
 	dirty []bool
 	meta  []uint64 // LRU timestamp or RRPV, per policy
+
+	// occ counts the valid ways per set. Once a set is full (the steady
+	// state after warmup) the victim search can skip its scan for an
+	// invalid way; the fill paths keep the count in lockstep with valid.
+	occ []uint16
 
 	clock    uint64 // LRU timestamp source
 	psel     int    // DRRIP policy selector
@@ -155,16 +167,22 @@ func New(cfg Config) *Cache {
 		panic(err)
 	}
 	nLines := cfg.Sets * cfg.Ways
-	return &Cache{
+	c := &Cache{
 		cfg:      cfg,
 		lineBits: uint(bits.TrailingZeros(uint(cfg.LineSize))),
+		setBits:  uint(bits.TrailingZeros(uint(cfg.Sets))),
 		setMask:  uint64(cfg.Sets - 1),
 		tags:     make([]uint64, nLines),
 		valid:    make([]bool, nLines),
 		dirty:    make([]bool, nLines),
 		meta:     make([]uint64, nLines),
+		occ:      make([]uint16, cfg.Sets),
 		psel:     pselInit,
 	}
+	for i := range c.tags {
+		c.tags[i] = invalidTag
+	}
+	return c
 }
 
 // Config returns the cache's configuration.
@@ -179,6 +197,10 @@ func (c *Cache) Reset() {
 		c.valid[i] = false
 		c.dirty[i] = false
 		c.meta[i] = 0
+		c.tags[i] = invalidTag
+	}
+	for i := range c.occ {
+		c.occ[i] = 0
 	}
 	c.clock = 0
 	c.psel = pselInit
@@ -210,7 +232,7 @@ func (c *Cache) Access(addr uint64, write bool) bool {
 	c.stats.Accesses++
 	line := addr >> c.lineBits
 	set := line & c.setMask
-	tag := line >> uint(bits.TrailingZeros(uint(c.cfg.Sets)))
+	tag := line >> c.setBits
 	base := int(set) * c.cfg.Ways
 
 	// Probe.
@@ -233,6 +255,17 @@ func (c *Cache) Access(addr uint64, write bool) bool {
 	} else {
 		c.stats.ReadMiss++
 	}
+	c.missFill(line, set, tag, base, write)
+	return false
+}
+
+// missFill performs everything a demand miss does after the probe: DRRIP
+// set-dueling vote, victim selection, fill, replacement-metadata insertion
+// and the optional next-line prefetch. It is shared verbatim between the
+// scalar Access path and AccessBatch, so the two paths cannot drift.
+// It returns the way index the line was filled into (used by AccessBatch's
+// line memo).
+func (c *Cache) missFill(line, set, tag uint64, base int, write bool) int {
 	if c.cfg.Policy == DRRIP {
 		// Leader-set misses steer PSEL: an SRRIP-leader miss votes
 		// against SRRIP (increment), a BRRIP-leader miss votes against
@@ -254,6 +287,8 @@ func (c *Cache) Access(addr uint64, write bool) bool {
 		if c.dirty[victim] {
 			c.stats.Writebacks++
 		}
+	} else {
+		c.occ[set]++
 	}
 	c.valid[victim] = true
 	c.tags[victim] = tag
@@ -262,14 +297,14 @@ func (c *Cache) Access(addr uint64, write bool) bool {
 	if c.cfg.NextLinePrefetch {
 		c.prefetch(line + 1)
 	}
-	return false
+	return victim
 }
 
 // prefetch fills the given line if absent, inserting it cold so it is the
 // first candidate for eviction until a demand access promotes it.
 func (c *Cache) prefetch(line uint64) {
 	set := line & c.setMask
-	tag := line >> uint(bits.TrailingZeros(uint(c.cfg.Sets)))
+	tag := line >> c.setBits
 	base := int(set) * c.cfg.Ways
 	for w := 0; w < c.cfg.Ways; w++ {
 		if c.valid[base+w] && c.tags[base+w] == tag {
@@ -282,6 +317,8 @@ func (c *Cache) prefetch(line uint64) {
 		if c.dirty[victim] {
 			c.stats.Writebacks++
 		}
+	} else {
+		c.occ[set]++
 	}
 	c.valid[victim] = true
 	c.tags[victim] = tag
@@ -326,33 +363,43 @@ func (c *Cache) insert(i int, set uint64) {
 
 // victim picks the way to fill in the set starting at base.
 func (c *Cache) victim(base int, set uint64) int {
-	// Invalid way first.
-	for w := 0; w < c.cfg.Ways; w++ {
-		if !c.valid[base+w] {
-			return base + w
-		}
-	}
-	if c.cfg.Policy == LRU {
-		best := base
-		for w := 1; w < c.cfg.Ways; w++ {
-			if c.meta[base+w] < c.meta[best] {
-				best = base + w
-			}
-		}
-		return best
-	}
-	// RRIP: find the first way with RRPV == max, aging all ways until one
-	// appears.
-	for {
-		for w := 0; w < c.cfg.Ways; w++ {
-			if c.meta[base+w] == rrpvMax {
+	ways := c.cfg.Ways
+	// Invalid way first; skipped entirely when the set is known full.
+	if int(c.occ[set]) < ways {
+		valid := c.valid[base : base+ways]
+		for w, v := range valid {
+			if !v {
 				return base + w
 			}
 		}
-		for w := 0; w < c.cfg.Ways; w++ {
-			c.meta[base+w]++
+	}
+	meta := c.meta[base : base+ways]
+	if c.cfg.Policy == LRU {
+		best := 0
+		for w := 1; w < ways; w++ {
+			if meta[w] < meta[best] {
+				best = w
+			}
+		}
+		return base + best
+	}
+	// RRIP: evict the first way at RRPV == rrpvMax, aging all ways until
+	// one appears. Done in one scan: raising every RRPV by the same amount
+	// makes the first way holding the maximum the first to reach rrpvMax,
+	// so that way is the victim — identical to the textbook scan-and-age
+	// loop, without the repeated passes.
+	best, max := 0, meta[0]
+	for w := 1; w < ways; w++ {
+		if meta[w] > max {
+			best, max = w, meta[w]
 		}
 	}
+	if d := rrpvMax - max; d != 0 {
+		for w := range meta {
+			meta[w] += d
+		}
+	}
+	return base + best
 }
 
 // Contains reports whether addr's line is currently cached, without
@@ -360,7 +407,7 @@ func (c *Cache) victim(base int, set uint64) int {
 func (c *Cache) Contains(addr uint64) bool {
 	line := addr >> c.lineBits
 	set := line & c.setMask
-	tag := line >> uint(bits.TrailingZeros(uint(c.cfg.Sets)))
+	tag := line >> c.setBits
 	base := int(set) * c.cfg.Ways
 	for w := 0; w < c.cfg.Ways; w++ {
 		if c.valid[base+w] && c.tags[base+w] == tag {
@@ -374,7 +421,7 @@ func (c *Cache) Contains(addr uint64) bool {
 // no state updates; the paper's ECS metric periodically scans cache
 // contents this way (§VI-F).
 func (c *Cache) Snapshot(fn func(lineAddr uint64)) {
-	setBits := uint(bits.TrailingZeros(uint(c.cfg.Sets)))
+	setBits := c.setBits
 	for set := 0; set < c.cfg.Sets; set++ {
 		base := set * c.cfg.Ways
 		for w := 0; w < c.cfg.Ways; w++ {

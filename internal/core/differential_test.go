@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"graphlocality/internal/cachesim"
+	"graphlocality/internal/gen"
+	"graphlocality/internal/graph"
+	"graphlocality/internal/trace"
+)
+
+// The differential suite pins the batched fast path to the scalar reference
+// with zero tolerance: for every policy, direction, prefetch setting and
+// graph family, SimulateSpMV must produce a SimResult that is deeply equal —
+// every per-level counter, per-vertex attribution array, ECS average and
+// bytes-touched sum — to SimulateSpMVReference's. Any drift between
+// cachesim.AccessBatch and the scalar Access path, or between the columnar
+// and record stream generators, surfaces here as a field diff.
+
+// diffGraphs returns the graph families the paper's suite draws from, kept
+// small enough that the full grid stays cheap under -race.
+func diffGraphs() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"rmat": gen.SocialNetwork(9, 8, 1),
+		"er":   gen.ErdosRenyi(600, 4800, 2),
+		"web":  gen.WebGraph(gen.DefaultWebGraph(1<<9, 6, 3)),
+	}
+}
+
+func assertSameResult(t *testing.T, name string, g *graph.Graph, opts SimOptions) {
+	t.Helper()
+	ref := SimulateSpMVReference(g, opts)
+	got := SimulateSpMV(g, opts)
+	if !reflect.DeepEqual(ref, got) {
+		t.Errorf("%s: batched result diverges from scalar reference\nscalar:  %+v\nbatched: %+v", name, ref, got)
+	}
+}
+
+// TestBatchedMatchesScalarGrid sweeps policy × direction × prefetch × graph.
+func TestBatchedMatchesScalarGrid(t *testing.T) {
+	graphs := diffGraphs()
+	dirs := []trace.Direction{trace.Pull, trace.Push, trace.PushRead}
+	policies := []cachesim.Policy{cachesim.LRU, cachesim.SRRIP, cachesim.BRRIP, cachesim.DRRIP}
+	for gname, g := range graphs {
+		cfg := cachesim.ScaledL3(g.NumVertices(), cachesim.DefaultVertexCacheFraction)
+		for _, dir := range dirs {
+			for _, pol := range policies {
+				for _, prefetch := range []bool{false, true} {
+					c := cfg
+					c.Policy = pol
+					c.NextLinePrefetch = prefetch
+					name := fmt.Sprintf("%s/%s/%s/prefetch=%v", gname, dir, pol, prefetch)
+					assertSameResult(t, name, g, SimOptions{Direction: dir, Cache: c})
+				}
+			}
+		}
+	}
+}
+
+// TestBatchedMatchesScalarPerVertex pins the per-vertex attribution arrays:
+// the batched path buffers per-access hit bits and attributes them after the
+// cache consumed the block, which must not change a single count.
+func TestBatchedMatchesScalarPerVertex(t *testing.T) {
+	for gname, g := range diffGraphs() {
+		for _, dir := range []trace.Direction{trace.Pull, trace.Push} {
+			name := fmt.Sprintf("%s/%s/pervertex", gname, dir)
+			assertSameResult(t, name, g, SimOptions{Direction: dir, PerVertex: true})
+		}
+	}
+}
+
+// TestBatchedMatchesScalarSnapshots forces ECS snapshots at a prime stride,
+// so snapshot points land mid-block and the batched path must split blocks
+// to scan the cache at exactly the scalar access counts.
+func TestBatchedMatchesScalarSnapshots(t *testing.T) {
+	g := diffGraphs()["rmat"]
+	for _, every := range []int{1, 997, 4096, 5000} {
+		name := fmt.Sprintf("rmat/snapshot=%d", every)
+		assertSameResult(t, name, g, SimOptions{SnapshotEvery: every})
+	}
+}
+
+// TestBatchedMatchesScalarTLB drives the TLB alongside the cache.
+func TestBatchedMatchesScalarTLB(t *testing.T) {
+	tlb := cachesim.TLBConfig{PageSize: 4096, Entries: 64, Ways: 4}
+	for gname, g := range diffGraphs() {
+		name := gname + "/tlb"
+		assertSameResult(t, name, g, SimOptions{TLB: &tlb})
+	}
+}
+
+// TestBatchedMatchesScalarParallel compares the two-phase parallel variants
+// (collect per-thread logs, interleave, simulate) on the batched and scalar
+// paths; run under -race this also exercises the replay plumbing for data
+// races.
+func TestBatchedMatchesScalarParallel(t *testing.T) {
+	for gname, g := range diffGraphs() {
+		for _, threads := range []int{2, 4} {
+			name := fmt.Sprintf("%s/threads=%d", gname, threads)
+			assertSameResult(t, name, g, SimOptions{Threads: threads, Interval: 512})
+		}
+	}
+}
+
+// TestBatchedMatchesScalarKitchenSink combines every option at once.
+func TestBatchedMatchesScalarKitchenSink(t *testing.T) {
+	g := diffGraphs()["rmat"]
+	cfg := cachesim.ScaledL3(g.NumVertices(), cachesim.DefaultVertexCacheFraction)
+	cfg.NextLinePrefetch = true
+	tlb := cachesim.TLBConfig{PageSize: 4096, Entries: 64, Ways: 4}
+	assertSameResult(t, "kitchen-sink", g, SimOptions{
+		Direction:     trace.Push,
+		Cache:         cfg,
+		TLB:           &tlb,
+		SnapshotEvery: 1009,
+		PerVertex:     true,
+	})
+}

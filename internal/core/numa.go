@@ -37,8 +37,19 @@ func SimulateSpMVNUMA(g *graph.Graph, cfg cachesim.Config, sockets, threads, int
 	layout := trace.NewLayout(g)
 	logs := trace.CollectLogs(g, layout, trace.Pull, threads)
 	perSocket := (threads + sockets - 1) / sockets
-	trace.ReplayWithThread(logs, interval, func(thread int, a trace.Access) {
-		caches[thread/perSocket].Access(a.Addr, a.Write)
+	// Each replayed interval slice belongs to one thread — and therefore to
+	// one socket — so the whole slice feeds that socket's cache in a single
+	// batched call. Scratch buffers are reused across slices.
+	addrs := make([]uint64, 0, interval)
+	writes := make([]bool, 0, interval)
+	trace.ReplayBatched(logs, interval, func(thread int, block []trace.Access) {
+		addrs = addrs[:0]
+		writes = writes[:0]
+		for _, a := range block {
+			addrs = append(addrs, a.Addr)
+			writes = append(writes, a.Write)
+		}
+		caches[thread/perSocket].AccessBatch(addrs, writes, nil)
 	})
 	var res NUMAResult
 	for _, c := range caches {

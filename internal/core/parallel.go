@@ -156,10 +156,13 @@ func LineUtilizationParallel(g *graph.Graph, cfg cachesim.Config, shards int) ca
 		go func(i int, r graph.Range) {
 			defer wg.Done()
 			tr := cachesim.NewUtilizationTracker(cfg)
-			trace.RunRange(g, layout, trace.Pull, r, func(a trace.Access) {
-				if a.Kind == trace.KindVertexRead {
-					tr.Access(a.Addr, a.Write)
+			trace.RunRangeBatched(g, layout, trace.Pull, r, 0, func(block []trace.Access) bool {
+				for _, a := range block {
+					if a.Kind == trace.KindVertexRead {
+						tr.Access(a.Addr, a.Write)
+					}
 				}
+				return true
 			})
 			parts[i] = tr.Stats()
 		}(i, r)

@@ -78,7 +78,21 @@ type SimResult struct {
 // SimulateSpMV drives one SpMV traversal of g through the cache simulator
 // per opts and returns the counters. This is the engine behind Fig. 1,
 // Tables III, IV (simulated columns), V and VI.
+//
+// It runs on the batched fast path (see simulateBatched), which is
+// bit-identical to — and several times faster than — the scalar reference
+// implementation SimulateSpMVReference.
 func SimulateSpMV(g *graph.Graph, opts SimOptions) SimResult {
+	return simulateBatched(g, opts)
+}
+
+// SimulateSpMVReference is the scalar reference implementation of
+// SimulateSpMV: every access flows through a per-access sink into
+// cachesim.Cache.Access. It is the semantic source of truth the batched
+// path is differential-tested against (bit-identical SimResult for every
+// policy, direction and prefetch setting); keep it boring and obviously
+// correct, and optimize simulateBatched instead.
+func SimulateSpMVReference(g *graph.Graph, opts SimOptions) SimResult {
 	if opts.Threads < 1 {
 		opts.Threads = 1
 	}
@@ -168,10 +182,13 @@ func LineUtilization(g *graph.Graph, cfg cachesim.Config) cachesim.UtilizationSt
 	}
 	tr := cachesim.NewUtilizationTracker(cfg)
 	layout := trace.NewLayout(g)
-	trace.Run(g, layout, trace.Pull, func(a trace.Access) {
-		if a.Kind == trace.KindVertexRead {
-			tr.Access(a.Addr, a.Write)
+	trace.RunBatched(g, layout, trace.Pull, 0, func(block []trace.Access) bool {
+		for _, a := range block {
+			if a.Kind == trace.KindVertexRead {
+				tr.Access(a.Addr, a.Write)
+			}
 		}
+		return true
 	})
 	return tr.Stats()
 }

@@ -28,14 +28,17 @@ func mapIndexed[T any](parallel, n int, fn func(int) T) []T {
 	if n == 0 {
 		return out
 	}
+	if parallel > n {
+		parallel = n
+	}
+	// Clamp before the serial check: a one-cell grid under a parallel
+	// session would otherwise still pay for a worker goroutine, a results
+	// channel and a closer just to compute fn(0).
 	if parallel <= 1 {
 		for i := 0; i < n; i++ {
 			out[i] = fn(i)
 		}
 		return out
-	}
-	if parallel > n {
-		parallel = n
 	}
 	type indexed struct {
 		i int
@@ -95,9 +98,14 @@ func grid(datasets []Dataset, algs []reorder.Algorithm) []gridCell {
 	return cells
 }
 
-// parallelism returns the scheduler's worker budget (at least 1).
+// parallelism returns the scheduler's worker budget (at least 1). On a
+// single-CPU machine the budget is forced to 1: the cells are CPU-bound, so
+// extra goroutines only interleave on the one P and the session pays the
+// scheduler's two-phase overhead (workers, channel, single-writer drain)
+// for no concurrency. The clamp lives here rather than in mapIndexed so
+// tests can still drive mapIndexed's parallel machinery directly.
 func (s *Session) parallelism() int {
-	if s.Parallel < 1 {
+	if s.Parallel < 1 || runtime.GOMAXPROCS(0) == 1 {
 		return 1
 	}
 	return s.Parallel

@@ -1,0 +1,68 @@
+package expt
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestMapIndexedSerialFallThrough pins the serial fall-through: whenever the
+// effective worker count is 1 — an explicit serial budget, or a parallel
+// budget clamped by a one-cell grid — mapIndexed must run every cell on the
+// calling goroutine in index order, without spawning worker machinery. The
+// unsynchronized append is itself part of the assertion: under -race it
+// proves no other goroutine ran a cell.
+func TestMapIndexedSerialFallThrough(t *testing.T) {
+	cases := []struct {
+		parallel, n int
+	}{
+		{0, 5},  // unset budget
+		{1, 5},  // explicit serial
+		{8, 1},  // parallel budget clamped by a one-cell grid
+		{-3, 4}, // nonsense budget
+	}
+	for _, tc := range cases {
+		baseline := runtime.NumGoroutine()
+		order := make([]int, 0, tc.n)
+		out := mapIndexed(tc.parallel, tc.n, func(i int) int {
+			if g := runtime.NumGoroutine(); g > baseline {
+				t.Errorf("parallel=%d n=%d: %d goroutines during cell %d, want <= %d (serial path)",
+					tc.parallel, tc.n, g, i, baseline)
+			}
+			order = append(order, i)
+			return i * i
+		})
+		if len(order) != tc.n {
+			t.Fatalf("parallel=%d n=%d: ran %d cells, want %d", tc.parallel, tc.n, len(order), tc.n)
+		}
+		for i, v := range order {
+			if v != i {
+				t.Fatalf("parallel=%d n=%d: cell order %v, want index order", tc.parallel, tc.n, order)
+			}
+			if out[i] != i*i {
+				t.Fatalf("parallel=%d n=%d: out[%d] = %d, want %d", tc.parallel, tc.n, i, out[i], i*i)
+			}
+		}
+	}
+}
+
+// TestParallelismClampsOnSingleCPU pins the GOMAXPROCS=1 clamp: a parallel
+// session on a single-CPU machine degrades to the serial path instead of
+// paying scheduler overhead to interleave CPU-bound cells on one P.
+func TestParallelismClampsOnSingleCPU(t *testing.T) {
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+
+	s := &Session{Parallel: 8}
+	runtime.GOMAXPROCS(1)
+	if got := s.parallelism(); got != 1 {
+		t.Errorf("GOMAXPROCS=1: parallelism() = %d, want 1", got)
+	}
+	runtime.GOMAXPROCS(4)
+	if got := s.parallelism(); got != 8 {
+		t.Errorf("GOMAXPROCS=4: parallelism() = %d, want 8", got)
+	}
+	s.Parallel = 0
+	if got := s.parallelism(); got != 1 {
+		t.Errorf("unset budget: parallelism() = %d, want 1", got)
+	}
+}

@@ -55,6 +55,23 @@ type Engine struct {
 // many edge-balanced chunks initially.
 const ChunksPerThread = 8
 
+// vertexBlock is the inner-loop blocking factor: the kernels process this
+// many vertices between cancellation polls, so the poll branch is paid once
+// per block instead of once per vertex. The poller's interval is scaled by
+// the same factor (see run) to keep cancellation latency — in accesses —
+// unchanged from the per-vertex loops.
+const vertexBlock = 256
+
+// blockEnd returns the end of the vertex block starting at lo within
+// [lo, hi), guarding against uint32 wraparound near the top of the range.
+func blockEnd(lo, hi uint32) uint32 {
+	end := lo + vertexBlock
+	if end > hi || end < lo {
+		end = hi
+	}
+	return end
+}
+
 // New builds an engine with the given worker count (0 = GOMAXPROCS).
 func New(g *graph.Graph, threads int) *Engine {
 	if threads < 1 {
@@ -86,15 +103,19 @@ func (e *Engine) PullContext(ctx context.Context, src, dst []float64) (Stats, er
 	return e.run(ctx, e.pullChunks, func(r graph.Range, poll *runctl.Poller) error {
 		adj := g.InEdges()
 		off := g.InOffsets()
-		for v := r.Lo; v < r.Hi; v++ {
+		for lo := r.Lo; lo < r.Hi; {
 			if err := poll.Check(); err != nil {
 				return err
 			}
-			sum := 0.0
-			for _, u := range adj[off[v]:off[v+1]] {
-				sum += src[u]
+			hi := blockEnd(lo, r.Hi)
+			for v := lo; v < hi; v++ {
+				sum := 0.0
+				for _, u := range adj[off[v]:off[v+1]] {
+					sum += src[u]
+				}
+				dst[v] = sum
 			}
-			dst[v] = sum
+			lo = hi
 		}
 		return nil
 	})
@@ -114,15 +135,19 @@ func (e *Engine) PushReadContext(ctx context.Context, src, dst []float64) (Stats
 	return e.run(ctx, e.pushChunks, func(r graph.Range, poll *runctl.Poller) error {
 		adj := g.OutEdges()
 		off := g.OutOffsets()
-		for v := r.Lo; v < r.Hi; v++ {
+		for lo := r.Lo; lo < r.Hi; {
 			if err := poll.Check(); err != nil {
 				return err
 			}
-			sum := 0.0
-			for _, u := range adj[off[v]:off[v+1]] {
-				sum += src[u]
+			hi := blockEnd(lo, r.Hi)
+			for v := lo; v < hi; v++ {
+				sum := 0.0
+				for _, u := range adj[off[v]:off[v+1]] {
+					sum += src[u]
+				}
+				dst[v] = sum
 			}
-			dst[v] = sum
+			lo = hi
 		}
 		return nil
 	})
@@ -143,14 +168,18 @@ func (e *Engine) PushContext(ctx context.Context, src, dst []float64) (Stats, er
 	return e.run(ctx, e.pushChunks, func(r graph.Range, poll *runctl.Poller) error {
 		adj := g.OutEdges()
 		off := g.OutOffsets()
-		for v := r.Lo; v < r.Hi; v++ {
+		for lo := r.Lo; lo < r.Hi; {
 			if err := poll.Check(); err != nil {
 				return err
 			}
-			x := src[v]
-			for _, u := range adj[off[v]:off[v+1]] {
-				atomicAddFloat64(&dst[u], x)
+			hi := blockEnd(lo, r.Hi)
+			for v := lo; v < hi; v++ {
+				x := src[v]
+				for _, u := range adj[off[v]:off[v+1]] {
+					atomicAddFloat64(&dst[u], x)
+				}
 			}
+			lo = hi
 		}
 		return nil
 	})
@@ -192,7 +221,14 @@ func (e *Engine) run(ctx context.Context, chunks []graph.Range, fn func(graph.Ra
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			poll := runctl.NewPoller(ctx, runctl.DefaultPollInterval)
+			// One Check per vertexBlock vertices: scale the poll interval
+			// down by the blocking factor so the context is still inspected
+			// about every DefaultPollInterval vertices.
+			every := runctl.DefaultPollInterval / vertexBlock
+			if every < 1 {
+				every = 1
+			}
+			poll := runctl.NewPoller(ctx, every)
 			var my time.Duration
 			// Own queue first, then steal from victims.
 			for vi := 0; vi < nw && errs[w] == nil; vi++ {

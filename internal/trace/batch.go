@@ -1,0 +1,417 @@
+package trace
+
+import "graphlocality/internal/graph"
+
+// Batched stream generation. Run/RunRange pay one state-machine call per
+// access (vertexIter.next) plus one sink call per access; for SpMV traces
+// that is 3|V|+2|E| calls per iteration and dominates simulation cost.
+// The batched variants amortize both: a bulk generator fills fixed-size
+// []Access blocks with tight loops over the CSR/CSC arrays and the sink is
+// invoked once per block.
+//
+// Bit-exactness contract: concatenating the blocks a batched variant
+// delivers yields exactly the access stream its scalar counterpart emits —
+// same addresses, kinds, write flags, vertex/dest attribution, same order.
+// The differential tests in core and the stream-equality tests here hold
+// the two generators together.
+
+// DefaultBatchSize is the block granularity of the batched access-stream
+// generators: large enough to amortize one sink call over thousands of
+// accesses, small enough that a block of 24-byte Access records stays
+// cache-resident.
+const DefaultBatchSize = 4096
+
+// BatchSink receives consecutive blocks of simulated accesses in program
+// order and reports whether the traversal should continue; returning false
+// stops the stream (cooperative cancellation at block granularity).
+type BatchSink func(block []Access) bool
+
+// RunBatched generates the same access stream as Run, delivered in blocks
+// of up to blockSize accesses (0 = DefaultBatchSize). It reports whether
+// the traversal ran to completion.
+func RunBatched(g *graph.Graph, l Layout, dir Direction, blockSize int, sink BatchSink) bool {
+	return RunRangeBatched(g, l, dir, graph.Range{Lo: 0, Hi: g.NumVertices()}, blockSize, sink)
+}
+
+// RunRangeBatched generates exactly the sub-stream RunRange emits for the
+// vertices in [r.Lo, r.Hi), in blocks. Concatenating the blocks of a
+// partition of [0, |V|) reproduces Run's stream exactly. It reports
+// whether the traversal ran to completion.
+func RunRangeBatched(g *graph.Graph, l Layout, dir Direction, r graph.Range, blockSize int, sink BatchSink) bool {
+	if blockSize < 1 {
+		blockSize = DefaultBatchSize
+	}
+	it := newBulkIter(g, l, dir, r)
+	buf := make([]Access, blockSize)
+	for !it.done {
+		n := it.fill(buf)
+		if n == 0 {
+			break
+		}
+		if !sink(buf[:n]) {
+			return false
+		}
+	}
+	return true
+}
+
+// RunParallelBatched generates RunParallel's interleaved stream (the
+// paper's two-phase §V-B interleaving: per-partition program order, cut
+// into `interval`-access slices delivered round-robin) in blocks of up to
+// blockSize accesses. Block boundaries are independent of interval
+// boundaries; concatenating the blocks reproduces RunParallel's stream
+// exactly. It reports whether the traversal ran to completion.
+func RunParallelBatched(g *graph.Graph, l Layout, dir Direction, threads, interval, blockSize int, sink BatchSink) bool {
+	if threads < 1 {
+		threads = 1
+	}
+	if interval < 1 {
+		interval = 1
+	}
+	if blockSize < 1 {
+		blockSize = DefaultBatchSize
+	}
+	var ranges []graph.Range
+	if dir == Pull {
+		ranges = g.PartitionEdgeBalancedIn(threads)
+	} else {
+		ranges = g.PartitionEdgeBalancedOut(threads)
+	}
+	iters := make([]*bulkIter, len(ranges))
+	for i, r := range ranges {
+		iters[i] = newBulkIter(g, l, dir, r)
+	}
+
+	buf := make([]Access, 0, blockSize)
+	flush := func() bool {
+		if len(buf) == 0 {
+			return true
+		}
+		ok := sink(buf)
+		buf = buf[:0]
+		return ok
+	}
+	live := len(iters)
+	for live > 0 {
+		live = 0
+		for _, it := range iters {
+			if it.done {
+				continue
+			}
+			rem := interval
+			for rem > 0 && !it.done {
+				if len(buf) == blockSize {
+					if !flush() {
+						return false
+					}
+				}
+				space := blockSize - len(buf)
+				k := rem
+				if k > space {
+					k = space
+				}
+				n := it.fill(buf[len(buf) : len(buf)+k])
+				buf = buf[:len(buf)+n]
+				rem -= n
+			}
+			if !it.done {
+				live++
+			}
+		}
+	}
+	return flush()
+}
+
+// ColumnSink receives a block of simulated accesses in columnar form:
+// parallel addrs/writes arrays (the only per-access fields a plain cache
+// simulation consumes) plus the number of edges-array reads in the block,
+// which fixes the block's bytes-touched sum (edges elements are 4 bytes,
+// everything else 8). Returning false stops the stream.
+type ColumnSink func(addrs []uint64, writes []bool, edgeReads int) bool
+
+// RunColumns generates Run's access stream in columnar blocks of up to
+// blockSize accesses (0 = DefaultBatchSize): the same addresses and write
+// flags in the same order, without materializing Access records. It is the
+// lowest-overhead stream shape, used by the plain (no per-vertex
+// attribution) simulation fast path. It reports whether the traversal ran
+// to completion.
+func RunColumns(g *graph.Graph, l Layout, dir Direction, blockSize int, sink ColumnSink) bool {
+	if blockSize < 1 {
+		blockSize = DefaultBatchSize
+	}
+	it := newBulkIter(g, l, dir, graph.Range{Lo: 0, Hi: g.NumVertices()})
+	addrs := make([]uint64, blockSize)
+	writes := make([]bool, blockSize)
+	for !it.done {
+		// fillColumns only stores the (rare) true flags; one vectorized
+		// clear per block replaces a byte store per access.
+		clear(writes)
+		n, edgeReads := it.fillColumns(addrs, writes)
+		if n == 0 {
+			break
+		}
+		if !sink(addrs[:n], writes[:n], edgeReads) {
+			return false
+		}
+	}
+	return true
+}
+
+// ReplayBatched interleaves pre-collected per-thread logs exactly like
+// ReplayWithThread — round-robin slices of `interval` accesses — but hands
+// each slice to the sink as a block (zero-copy: the blocks are views into
+// the logs). Concatenating the blocks reproduces ReplayWithThread's
+// per-access stream, with each block attributed to its emitting thread.
+func ReplayBatched(logs []ThreadLog, interval int, sink func(thread int, block []Access)) {
+	if interval < 1 {
+		interval = 1
+	}
+	pos := make([]int, len(logs))
+	live := len(logs)
+	for live > 0 {
+		live = 0
+		for i := range logs {
+			n := len(logs[i].Accesses)
+			if pos[i] >= n {
+				continue
+			}
+			end := pos[i] + interval
+			if end > n {
+				end = n
+			}
+			sink(logs[i].Thread, logs[i].Accesses[pos[i]:end])
+			pos[i] = end
+			if pos[i] < n {
+				live++
+			}
+		}
+	}
+}
+
+// bulkIter is the resumable bulk generator behind the batched variants: a
+// cursor over one partition's program order whose fill method emits many
+// accesses per call. It produces, access for access, the stream vertexIter
+// produces — the stage encoding below mirrors vertexIter's states, but the
+// edges loop runs as a tight pair-emitting loop instead of one next() call
+// per access.
+type bulkIter struct {
+	l       Layout
+	dir     Direction
+	offsets []uint64
+	adj     []uint32
+	r       graph.Range
+
+	v    uint32 // current vertex
+	ei   uint64 // current absolute edge index
+	hi   uint64 // one past v's last edge index
+	st   int
+	done bool
+}
+
+// bulkIter stages. stEdgeData exists for the case where a block boundary
+// falls between an edges-array read and its paired vertex-data access.
+const (
+	stOffsets0 = iota // emit offsets[v]
+	stOffsets1        // emit offsets[v+1]
+	stEdges           // emit (edges[ei], data) pairs
+	stEdgeData        // emit the data access paired with edges[ei]
+	stOwn             // emit the own-data access, advance v
+)
+
+func newBulkIter(g *graph.Graph, l Layout, dir Direction, r graph.Range) *bulkIter {
+	it := &bulkIter{l: l, dir: dir, r: r, v: r.Lo}
+	if dir == Pull {
+		it.offsets = g.InOffsets()
+		it.adj = g.InEdges()
+	} else {
+		it.offsets = g.OutOffsets()
+		it.adj = g.OutEdges()
+	}
+	if r.Lo >= r.Hi {
+		it.done = true
+	}
+	return it
+}
+
+// fillColumns is fill in columnar form: it writes the addresses and write
+// flags of up to len(addrs) accesses into the parallel arrays (same
+// program order, same resumability) and returns the count written plus how
+// many of them were edges-array reads. writes[:len(addrs)] must be all
+// false on entry — only the true flags are stored. Kept in lockstep with
+// fill — the stream-equality tests compare the two shapes access for
+// access.
+func (it *bulkIter) fillColumns(addrs []uint64, writes []bool) (int, int) {
+	if it.done {
+		return 0, 0
+	}
+	l := it.l
+	adj := it.adj
+	push := it.dir == Push
+	n := 0
+	edgeReads := 0
+	for n < len(addrs) {
+		switch it.st {
+		case stOffsets0:
+			it.ei = it.offsets[it.v]
+			it.hi = it.offsets[it.v+1]
+			addrs[n] = l.OffsetsAddr(it.v)
+			n++
+			it.st = stOffsets1
+		case stOffsets1:
+			addrs[n] = l.OffsetsAddr(it.v + 1)
+			n++
+			it.st = stEdges
+		case stEdges:
+			pairs := uint64(len(addrs)-n) / 2
+			if left := it.hi - it.ei; left < pairs {
+				pairs = left
+			}
+			if push {
+				for k := uint64(0); k < pairs; k++ {
+					addrs[n] = l.EdgeAddr(it.ei)
+					addrs[n+1] = l.NewDataAddr(adj[it.ei])
+					writes[n+1] = true
+					n += 2
+					it.ei++
+				}
+			} else {
+				for k := uint64(0); k < pairs; k++ {
+					addrs[n] = l.EdgeAddr(it.ei)
+					addrs[n+1] = l.OldDataAddr(adj[it.ei])
+					n += 2
+					it.ei++
+				}
+			}
+			edgeReads += int(pairs)
+			if it.ei == it.hi {
+				it.st = stOwn
+			} else if n == len(addrs)-1 {
+				addrs[n] = l.EdgeAddr(it.ei)
+				n++
+				edgeReads++
+				it.st = stEdgeData
+			}
+		case stEdgeData:
+			if push {
+				addrs[n] = l.NewDataAddr(adj[it.ei])
+				writes[n] = true
+			} else {
+				addrs[n] = l.OldDataAddr(adj[it.ei])
+			}
+			n++
+			it.ei++
+			if it.ei == it.hi {
+				it.st = stOwn
+			} else {
+				it.st = stEdges
+			}
+		case stOwn:
+			if push {
+				addrs[n] = l.OldDataAddr(it.v)
+			} else {
+				addrs[n] = l.NewDataAddr(it.v)
+				writes[n] = true
+			}
+			n++
+			it.v++
+			it.st = stOffsets0
+			if it.v >= it.r.Hi {
+				it.done = true
+				return n, edgeReads
+			}
+		}
+	}
+	return n, edgeReads
+}
+
+// fill writes up to len(dst) accesses of the partition's program order into
+// dst, resuming exactly where the previous call stopped, and returns the
+// number written. It writes fewer than len(dst) only when the partition's
+// stream ends.
+func (it *bulkIter) fill(dst []Access) int {
+	if it.done {
+		return 0
+	}
+	l := it.l
+	adj := it.adj
+	push := it.dir == Push
+	n := 0
+	for n < len(dst) {
+		switch it.st {
+		case stOffsets0:
+			it.ei = it.offsets[it.v]
+			it.hi = it.offsets[it.v+1]
+			dst[n] = Access{Addr: l.OffsetsAddr(it.v), Kind: KindOffsets, Vertex: it.v, Dest: it.v}
+			n++
+			it.st = stOffsets1
+		case stOffsets1:
+			dst[n] = Access{Addr: l.OffsetsAddr(it.v + 1), Kind: KindOffsets, Vertex: it.v, Dest: it.v}
+			n++
+			it.st = stEdges
+		case stEdges:
+			// Emit full (edges read, vertex-data access) pairs while both
+			// edges and room remain.
+			pairs := uint64(len(dst)-n) / 2
+			if left := it.hi - it.ei; left < pairs {
+				pairs = left
+			}
+			if push {
+				for k := uint64(0); k < pairs; k++ {
+					u := adj[it.ei]
+					dst[n] = Access{Addr: l.EdgeAddr(it.ei), Kind: KindEdges, Vertex: it.v, Dest: it.v}
+					dst[n+1] = Access{Addr: l.NewDataAddr(u), Kind: KindVertexWrite, Write: true, Vertex: u, Dest: it.v}
+					n += 2
+					it.ei++
+				}
+			} else {
+				for k := uint64(0); k < pairs; k++ {
+					u := adj[it.ei]
+					dst[n] = Access{Addr: l.EdgeAddr(it.ei), Kind: KindEdges, Vertex: it.v, Dest: it.v}
+					dst[n+1] = Access{Addr: l.OldDataAddr(u), Kind: KindVertexRead, Vertex: u, Dest: it.v}
+					n += 2
+					it.ei++
+				}
+			}
+			if it.ei == it.hi {
+				it.st = stOwn
+			} else if n == len(dst)-1 {
+				// One slot left: emit the edges read alone and resume with
+				// its paired data access next call.
+				dst[n] = Access{Addr: l.EdgeAddr(it.ei), Kind: KindEdges, Vertex: it.v, Dest: it.v}
+				n++
+				it.st = stEdgeData
+			}
+			// n == len(dst): block full, resume at stEdges.
+		case stEdgeData:
+			u := adj[it.ei]
+			if push {
+				dst[n] = Access{Addr: l.NewDataAddr(u), Kind: KindVertexWrite, Write: true, Vertex: u, Dest: it.v}
+			} else {
+				dst[n] = Access{Addr: l.OldDataAddr(u), Kind: KindVertexRead, Vertex: u, Dest: it.v}
+			}
+			n++
+			it.ei++
+			if it.ei == it.hi {
+				it.st = stOwn
+			} else {
+				it.st = stEdges
+			}
+		case stOwn:
+			// End of vertex: pull/push-read write their own Di+1[v]; push
+			// reads its own Di[v].
+			if push {
+				dst[n] = Access{Addr: l.OldDataAddr(it.v), Kind: KindVertexRead, Vertex: it.v, Dest: it.v}
+			} else {
+				dst[n] = Access{Addr: l.NewDataAddr(it.v), Kind: KindVertexWrite, Write: true, Vertex: it.v, Dest: it.v}
+			}
+			n++
+			it.v++
+			it.st = stOffsets0
+			if it.v >= it.r.Hi {
+				it.done = true
+				return n
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,190 @@
+package trace
+
+import (
+	"fmt"
+	"testing"
+
+	"graphlocality/internal/gen"
+	"graphlocality/internal/graph"
+)
+
+// Stream-equality tests: concatenating the blocks of every batched variant
+// must reproduce, access for access, the stream of its scalar counterpart.
+// These are the other half of the bit-exactness contract — the differential
+// suite in core compares end-to-end SimResults, these compare the raw
+// streams so a generator bug is pinned to the generator.
+
+func testGraph() *graph.Graph { return gen.SocialNetwork(8, 8, 5) }
+
+func collectScalar(g *graph.Graph, dir Direction) []Access {
+	l := NewLayout(g)
+	var out []Access
+	Run(g, l, dir, func(a Access) { out = append(out, a) })
+	return out
+}
+
+func assertSameStream(t *testing.T, name string, want, got []Access) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d accesses, want %d", name, len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("%s: access %d = %+v, want %+v", name, i, got[i], want[i])
+		}
+	}
+}
+
+func TestRunBatchedMatchesRun(t *testing.T) {
+	g := testGraph()
+	l := NewLayout(g)
+	for _, dir := range []Direction{Pull, Push, PushRead} {
+		want := collectScalar(g, dir)
+		// Block sizes that are tiny, misaligned with the per-vertex
+		// pattern, and the default — block cuts must never change content.
+		for _, bs := range []int{1, 3, 7, 100, 0} {
+			var got []Access
+			done := RunBatched(g, l, dir, bs, func(block []Access) bool {
+				got = append(got, block...)
+				return true
+			})
+			if !done {
+				t.Fatalf("%s/bs=%d: RunBatched reported early stop", dir, bs)
+			}
+			assertSameStream(t, fmt.Sprintf("%s/bs=%d", dir, bs), want, got)
+		}
+	}
+}
+
+func TestRunRangeBatchedMatchesRunRange(t *testing.T) {
+	g := testGraph()
+	l := NewLayout(g)
+	r := graph.Range{Lo: 10, Hi: 200}
+	var want []Access
+	RunRange(g, l, Pull, r, func(a Access) { want = append(want, a) })
+	var got []Access
+	RunRangeBatched(g, l, Pull, r, 64, func(block []Access) bool {
+		got = append(got, block...)
+		return true
+	})
+	assertSameStream(t, "range", want, got)
+}
+
+func TestRunBatchedEarlyStop(t *testing.T) {
+	g := testGraph()
+	l := NewLayout(g)
+	blocks := 0
+	done := RunBatched(g, l, Pull, 50, func(block []Access) bool {
+		blocks++
+		return blocks < 3
+	})
+	if done {
+		t.Fatal("RunBatched should report an early stop")
+	}
+	if blocks != 3 {
+		t.Fatalf("sink saw %d blocks after stopping at 3", blocks)
+	}
+}
+
+func TestRunColumnsMatchesRun(t *testing.T) {
+	g := testGraph()
+	l := NewLayout(g)
+	for _, dir := range []Direction{Pull, Push, PushRead} {
+		want := collectScalar(g, dir)
+		for _, bs := range []int{1, 2, 3, 101, 0} {
+			var addrs []uint64
+			var writes []bool
+			edgeReads := 0
+			done := RunColumns(g, l, dir, bs, func(a []uint64, w []bool, er int) bool {
+				addrs = append(addrs, a...)
+				writes = append(writes, w...)
+				// Per-block edge-read counts must match the block content,
+				// not just the total.
+				n := 0
+				for _, acc := range want[len(addrs)-len(a) : len(addrs)] {
+					if acc.Kind == KindEdges {
+						n++
+					}
+				}
+				if er != n {
+					t.Fatalf("%s/bs=%d: block edgeReads = %d, want %d", dir, bs, er, n)
+				}
+				edgeReads += er
+				return true
+			})
+			if !done {
+				t.Fatalf("%s/bs=%d: RunColumns reported early stop", dir, bs)
+			}
+			if len(addrs) != len(want) {
+				t.Fatalf("%s/bs=%d: %d accesses, want %d", dir, bs, len(addrs), len(want))
+			}
+			totalEdges := 0
+			for i, a := range want {
+				if addrs[i] != a.Addr {
+					t.Fatalf("%s/bs=%d: addr %d = %#x, want %#x", dir, bs, i, addrs[i], a.Addr)
+				}
+				if writes[i] != a.Write {
+					t.Fatalf("%s/bs=%d: write %d = %v, want %v", dir, bs, i, writes[i], a.Write)
+				}
+				if a.Kind == KindEdges {
+					totalEdges++
+				}
+			}
+			if edgeReads != totalEdges {
+				t.Fatalf("%s/bs=%d: edgeReads sum %d, want %d", dir, bs, edgeReads, totalEdges)
+			}
+		}
+	}
+}
+
+func TestRunParallelBatchedMatchesRunParallel(t *testing.T) {
+	g := testGraph()
+	l := NewLayout(g)
+	for _, dir := range []Direction{Pull, Push} {
+		for _, threads := range []int{1, 3, 4} {
+			for _, interval := range []int{1, 37, 1024} {
+				var want []Access
+				RunParallel(g, l, dir, threads, interval, func(a Access) { want = append(want, a) })
+				for _, bs := range []int{17, 0} {
+					var got []Access
+					RunParallelBatched(g, l, dir, threads, interval, bs, func(block []Access) bool {
+						got = append(got, block...)
+						return true
+					})
+					name := fmt.Sprintf("%s/t=%d/iv=%d/bs=%d", dir, threads, interval, bs)
+					assertSameStream(t, name, want, got)
+				}
+			}
+		}
+	}
+}
+
+func TestReplayBatchedMatchesReplayWithThread(t *testing.T) {
+	g := testGraph()
+	l := NewLayout(g)
+	logs := CollectLogs(g, l, Pull, 3)
+	for _, interval := range []int{1, 100, 1 << 20} {
+		type step struct {
+			thread int
+			a      Access
+		}
+		var want []step
+		ReplayWithThread(logs, interval, func(th int, a Access) {
+			want = append(want, step{th, a})
+		})
+		var got []step
+		ReplayBatched(logs, interval, func(th int, block []Access) {
+			for _, a := range block {
+				got = append(got, step{th, a})
+			}
+		})
+		if len(want) != len(got) {
+			t.Fatalf("iv=%d: %d steps, want %d", interval, len(got), len(want))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("iv=%d: step %d = %+v, want %+v", interval, i, got[i], want[i])
+			}
+		}
+	}
+}
