@@ -1,6 +1,6 @@
 # Tier-1 verification lives in verify.sh; `make verify` is the one command
 # to run before committing.
-.PHONY: verify build test race vet bench bench-parallel bench-pipeline bench-diff
+.PHONY: verify build test race vet bench bench-parallel bench-pipeline bench-diff bench-serve
 
 verify:
 	./verify.sh
@@ -20,6 +20,17 @@ bench-parallel:
 # against.
 bench-pipeline:
 	go run ./cmd/localitylab bench pipeline -size standard -out BENCH_pipeline.json
+
+# Starts a localityd daemon, replays the mixed loadtest workload against
+# it and writes BENCH_serve.json (p50/p99 latency, shed/completion/
+# cache-hit rates), the committed serving-layer baseline.
+bench-serve:
+	go build -o /tmp/localitylab-bench ./cmd/localitylab
+	/tmp/localitylab-bench serve -addr 127.0.0.1:18099 -cachedir /tmp/localitylab-bench-cache & \
+	SERVE_PID=$$!; sleep 1; \
+	/tmp/localitylab-bench loadtest -url http://127.0.0.1:18099 -n 140 -c 8 -out BENCH_serve.json; \
+	STATUS=$$?; kill -TERM $$SERVE_PID; wait $$SERVE_PID; \
+	rm -rf /tmp/localitylab-bench-cache; exit $$STATUS
 
 # Regression gate: re-runs the pipeline benchmarks into a scratch report
 # and compares it against the committed baseline with the CI tolerance.

@@ -54,6 +54,9 @@ func main() {
 		usage()
 		os.Exit(exitUsage)
 	}
+	if err := armFailpointsFromEnv(); err != nil {
+		os.Exit(exitCode(err))
+	}
 	var err error
 	switch os.Args[1] {
 	case "gen":
@@ -86,6 +89,12 @@ func main() {
 		err = cmdStore(os.Args[2:])
 	case "bench":
 		err = cmdBench(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
+	case "loadtest":
+		err = cmdLoadtest(os.Args[2:])
+	case "version", "-version", "--version":
+		err = cmdVersion(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -157,7 +166,15 @@ Commands:
   bench       performance harness: bench parallel (experiment grid serial vs
               parallel -> BENCH_parallel.json), bench pipeline (batched vs
               scalar simulation stack -> BENCH_pipeline.json), bench diff
-              [-tolerance 1.5] <baseline> <current> (regression gate)`)
+              [-tolerance 1.5] <baseline> <current> (regression gate)
+  serve       run localityd, the reorder/simulate daemon (admission control,
+              deadlines, load shedding, graceful drain on SIGTERM)
+  loadtest    fire a mixed workload at a running daemon -> BENCH_serve.json
+  version     print the binary version (also: -version)
+
+Environment:
+  LOCALITYLAB_FAILPOINTS  arm runctl failpoints at startup, e.g.
+                          "serve.job.run=panic*2,store.write.before-rename=crash"`)
 }
 
 func loadGraph(path string) (*graph.Graph, error) {

@@ -1,0 +1,227 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// The serve signal contract is a property of a real process, not of an
+// in-process handler, so these tests build the binary once and drive it
+// with actual signals:
+//
+//	SIGTERM -> graceful drain, exit 0
+//	SIGINT  -> immediate cancel, exit 130
+//
+// This mirrors TestExitCodeMapping but proves the codes end-to-end.
+
+var (
+	buildOnce sync.Once
+	builtBin  string
+	buildErr  error
+)
+
+// buildBinary compiles localitylab once per test run.
+func buildBinary(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "localitylab-bin")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		builtBin = filepath.Join(dir, "localitylab")
+		out, err := exec.Command("go", "build", "-o", builtBin, "graphlocality/cmd/localitylab").CombinedOutput()
+		if err != nil {
+			buildErr = fmt.Errorf("go build: %v\n%s", err, out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return builtBin
+}
+
+// stderrSink collects the child's stderr. Writes arrive from the exec
+// goroutine; cmd.Wait does not return until every write has landed, so
+// reading String() after Wait is race-free (the mutex covers the overlap
+// while the process is still alive).
+type stderrSink struct {
+	mu     sync.Mutex
+	buf    strings.Builder
+	banner chan string // bound address, sent once
+}
+
+func (w *stderrSink) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	w.buf.Write(p)
+	text := w.buf.String()
+	w.mu.Unlock()
+	if i := strings.Index(text, "serving on "); i >= 0 {
+		if nl := strings.IndexByte(text[i:], '\n'); nl >= 0 {
+			select {
+			case w.banner <- strings.TrimSpace(text[i+len("serving on ") : i+nl]):
+			default: // already delivered
+			}
+		}
+	}
+	return len(p), nil
+}
+
+func (w *stderrSink) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+// startServe launches `localitylab serve -addr 127.0.0.1:0` and returns
+// the process plus the bound address parsed from its stderr banner.
+func startServe(t *testing.T, extraArgs ...string) (*exec.Cmd, string, *stderrSink) {
+	t.Helper()
+	bin := buildBinary(t)
+	args := append([]string{"serve", "-addr", "127.0.0.1:0"}, extraArgs...)
+	cmd := exec.Command(bin, args...)
+	sink := &stderrSink{banner: make(chan string, 1)}
+	cmd.Stderr = sink
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			_ = cmd.Process.Kill()
+			_ = cmd.Wait()
+		}
+	})
+	select {
+	case addr := <-sink.banner:
+		return cmd, "http://" + addr, sink
+	case <-time.After(30 * time.Second):
+		t.Fatalf("serve never printed its banner; stderr:\n%s", sink.String())
+		return nil, "", nil
+	}
+}
+
+func waitHealthy(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("serve never became healthy: %v", err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func TestServeSIGTERMDrainsAndExitsZero(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs a real binary")
+	}
+	cmd, base, stderrTail := startServe(t)
+	waitHealthy(t, base)
+
+	// Land one real job so the drain has something to have finished.
+	resp, err := http.Post(base+"/v1/jobs", "application/json",
+		strings.NewReader(`{"kind":"metrics","graph":{"kind":"er","scale":8}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("job = %d, want 200", resp.StatusCode)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := waitExit(cmd, 30*time.Second); err != nil {
+		t.Fatalf("wait: %v\nstderr:\n%s", err, stderrTail.String())
+	}
+	if code := cmd.ProcessState.ExitCode(); code != 0 {
+		t.Fatalf("SIGTERM exit code = %d, want 0\nstderr:\n%s", code, stderrTail.String())
+	}
+	if !strings.Contains(stderrTail.String(), "drained cleanly") {
+		t.Fatalf("stderr does not report a clean drain:\n%s", stderrTail.String())
+	}
+}
+
+func TestServeSIGINTExits130(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs a real binary")
+	}
+	cmd, base, stderrTail := startServe(t)
+	waitHealthy(t, base)
+
+	if err := cmd.Process.Signal(syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	if err := waitExit(cmd, 30*time.Second); err != nil {
+		t.Fatalf("wait: %v\nstderr:\n%s", err, stderrTail.String())
+	}
+	if code := cmd.ProcessState.ExitCode(); code != exitInterrupt {
+		t.Fatalf("SIGINT exit code = %d, want %d\nstderr:\n%s", code, exitInterrupt, stderrTail.String())
+	}
+}
+
+// waitExit waits for the process with a timeout (Wait has none).
+func waitExit(cmd *exec.Cmd, timeout time.Duration) error {
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		var ee *exec.ExitError
+		if err == nil || errors.As(err, &ee) {
+			return nil // a nonzero exit code is the caller's to judge
+		}
+		return err
+	case <-time.After(timeout):
+		_ = cmd.Process.Kill()
+		return fmt.Errorf("process did not exit within %v", timeout)
+	}
+}
+
+func TestFailpointEnvRejectsBadSpec(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs a real binary")
+	}
+	bin := buildBinary(t)
+	cmd := exec.Command(bin, "version")
+	cmd.Env = append(os.Environ(), failpointEnv+"=not-a-spec")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("bad %s accepted:\n%s", failpointEnv, out)
+	}
+	if code := cmd.ProcessState.ExitCode(); code != exitUsage {
+		t.Fatalf("exit code = %d, want %d\n%s", code, exitUsage, out)
+	}
+}
+
+func TestFailpointEnvArmsSpec(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs a real binary")
+	}
+	bin := buildBinary(t)
+	cmd := exec.Command(bin, "version")
+	cmd.Env = append(os.Environ(), failpointEnv+"=serve.job.run=panic*2")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("version with armed failpoints: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "failpoints armed") {
+		t.Fatalf("no arming banner:\n%s", out)
+	}
+}

@@ -1,0 +1,143 @@
+package runctl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Failpoint specs let a real process arm failpoints from the outside —
+// the LOCALITYLAB_FAILPOINTS environment variable or a -failpoints flag —
+// so the daemon chaos suite (and operators reproducing a fault) can
+// inject crashes, stalls and corruption into a production binary instead
+// of only into in-process tests.
+//
+// Grammar (comma-separated list of arm directives):
+//
+//	name=mode[*times][@offset][~duration]
+//
+//	mode     panic | error | transient | hang | crash | truncate | bitflip
+//	*times   fire at most N times, then heal (default: every firing)
+//	@offset  byte offset for truncate/bitflip (negative = from end)
+//	~dur     HangFor bound for hang (Go duration, e.g. ~500ms)
+//
+// Examples:
+//
+//	serve.job.run=panic*1
+//	store.write.before-rename=crash
+//	store.write.after-commit=bitflip@-3
+//	serve.job.run=hang~2s,serve.store.get=transient*2
+
+// ParseSpec parses a failpoint spec string into named Failpoints without
+// arming them. An empty spec yields an empty map.
+func ParseSpec(spec string) (map[string]Failpoint, error) {
+	out := make(map[string]Failpoint)
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		name, rest, ok := strings.Cut(item, "=")
+		name = strings.TrimSpace(name)
+		if !ok || name == "" || rest == "" {
+			return nil, fmt.Errorf("runctl: failpoint spec %q: want name=mode[*times][@offset][~dur]", item)
+		}
+		fp, err := parseMode(rest)
+		if err != nil {
+			return nil, fmt.Errorf("runctl: failpoint spec %q: %w", item, err)
+		}
+		out[name] = fp
+	}
+	return out, nil
+}
+
+// parseMode parses the right-hand side of one arm directive.
+func parseMode(s string) (Failpoint, error) {
+	var fp Failpoint
+	// Suffix decorations can appear in any order after the mode word.
+	mode := s
+	for _, sep := range []string{"*", "@", "~"} {
+		if i := strings.IndexAny(mode, sep); i >= 0 {
+			mode = mode[:i]
+		}
+	}
+	rest := s[len(mode):]
+	switch mode {
+	case "panic":
+		fp.Mode = FailPanic
+	case "error":
+		fp.Mode = FailError
+	case "transient":
+		fp.Mode = FailTransient
+	case "hang":
+		fp.Mode = FailHang
+	case "crash":
+		fp.Mode = FailCrash
+	case "truncate":
+		fp.Mode = FailTruncate
+	case "bitflip":
+		fp.Mode = FailBitFlip
+	default:
+		return fp, fmt.Errorf("unknown mode %q (want panic, error, transient, hang, crash, truncate or bitflip)", mode)
+	}
+	for rest != "" {
+		sep := rest[0]
+		val := rest[1:]
+		for _, s := range []string{"*", "@", "~"} {
+			if i := strings.IndexAny(val, s); i >= 0 {
+				val = val[:i]
+			}
+		}
+		rest = rest[1+len(val):]
+		switch sep {
+		case '*':
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 1 {
+				return fp, fmt.Errorf("bad times %q (want a positive integer)", val)
+			}
+			fp.Times = n
+		case '@':
+			off, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return fp, fmt.Errorf("bad offset %q", val)
+			}
+			fp.Offset = off
+		case '~':
+			d, err := time.ParseDuration(val)
+			if err != nil || d <= 0 {
+				return fp, fmt.Errorf("bad duration %q", val)
+			}
+			fp.HangFor = d
+		}
+	}
+	if fp.Offset != 0 && fp.Mode != FailTruncate && fp.Mode != FailBitFlip {
+		return fp, fmt.Errorf("@offset only applies to truncate and bitflip")
+	}
+	if fp.HangFor != 0 && fp.Mode != FailHang {
+		return fp, fmt.Errorf("~duration only applies to hang")
+	}
+	return fp, nil
+}
+
+// InjectSpec parses spec and arms every failpoint it names, returning a
+// remover that disarms them all. This is the production entry point
+// behind LOCALITYLAB_FAILPOINTS / -failpoints: unlike Inject it is meant
+// to be called from a real daemon process, which is exactly the point —
+// the chaos suite drives a binary whose faults are armed the same way an
+// operator would arm them.
+func InjectSpec(spec string) (remove func(), err error) {
+	fps, err := ParseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	removers := make([]func(), 0, len(fps))
+	for name, fp := range fps {
+		removers = append(removers, Inject(name, fp))
+	}
+	return func() {
+		for _, r := range removers {
+			r()
+		}
+	}, nil
+}

@@ -1,0 +1,124 @@
+package runctl
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		spec string
+		want map[string]Failpoint
+	}{
+		{"", map[string]Failpoint{}},
+		{"a=panic", map[string]Failpoint{"a": {Mode: FailPanic}}},
+		{"a=panic*1", map[string]Failpoint{"a": {Mode: FailPanic, Times: 1}}},
+		{"serve.job.run=hang~500ms", map[string]Failpoint{
+			"serve.job.run": {Mode: FailHang, HangFor: 500 * time.Millisecond}}},
+		{"store.write.after-commit=bitflip@-3", map[string]Failpoint{
+			"store.write.after-commit": {Mode: FailBitFlip, Offset: -3}}},
+		{"p=truncate*2@10", map[string]Failpoint{
+			"p": {Mode: FailTruncate, Times: 2, Offset: 10}}},
+		{"a=crash, b=transient*3", map[string]Failpoint{
+			"a": {Mode: FailCrash}, "b": {Mode: FailTransient, Times: 3}}},
+		{"a=error", map[string]Failpoint{"a": {Mode: FailError}}},
+	}
+	for _, tc := range cases {
+		got, err := ParseSpec(tc.spec)
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", tc.spec, err)
+			continue
+		}
+		if len(got) != len(tc.want) {
+			t.Errorf("ParseSpec(%q) = %v, want %v", tc.spec, got, tc.want)
+			continue
+		}
+		for name, fp := range tc.want {
+			if got[name] != fp {
+				t.Errorf("ParseSpec(%q)[%s] = %+v, want %+v", tc.spec, name, got[name], fp)
+			}
+		}
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	bad := []string{
+		"nomode",
+		"a=",
+		"=panic",
+		"a=explode",
+		"a=panic*0",
+		"a=panic*x",
+		"a=bitflip@ten",
+		"a=hang~-1s",
+		"a=hang~soon",
+		"a=panic@3",    // offset on a non-file mode
+		"a=crash~1s",   // duration on a non-hang mode
+		"a=panic~1s*2", // duration on a non-hang mode, decorations reordered
+	}
+	for _, spec := range bad {
+		if _, err := ParseSpec(spec); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", spec)
+		}
+	}
+}
+
+func TestInjectSpecArmsAndDisarms(t *testing.T) {
+	remove, err := InjectSpec("spec.point=error*1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Fire(context.Background(), "spec.point"); err == nil {
+		t.Fatal("armed failpoint did not fire")
+	}
+	// Times=1: healed after one firing.
+	if err := Fire(context.Background(), "spec.point"); err != nil {
+		t.Fatalf("healed failpoint fired again: %v", err)
+	}
+	remove()
+	if err := Fire(context.Background(), "spec.point"); err != nil {
+		t.Fatalf("disarmed failpoint fired: %v", err)
+	}
+}
+
+func TestInjectSpecCorruptionMode(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f")
+	if err := os.WriteFile(path, []byte("hello"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	remove, err := InjectSpec("spec.trunc=truncate@2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remove()
+	if err := FireFile(context.Background(), "spec.trunc", path); err != nil {
+		t.Fatalf("corruption mode should report success to the writer: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "he" {
+		t.Fatalf("file = %q, want %q", data, "he")
+	}
+}
+
+func TestInjectSpecTransientRetryable(t *testing.T) {
+	remove, err := InjectSpec("spec.tr=transient")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remove()
+	err = Fire(context.Background(), "spec.tr")
+	if !IsTransient(err) {
+		t.Fatalf("transient mode produced non-transient error %v", err)
+	}
+	var fe *failpointError
+	if !errors.As(err, &fe) {
+		t.Fatalf("unexpected error type %T", err)
+	}
+}

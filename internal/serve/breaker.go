@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// breaker is the circuit breaker in front of the artifact store. Store
+// *infrastructure* failures (lock acquisition, I/O errors — never job
+// compute failures) count against a consecutive-failure threshold; once
+// tripped, Allow reports false for a cooldown period and jobs take the
+// direct-compute rung of the degradation ladder instead of queueing on a
+// sick cache. After the cooldown one probe is let through (half-open);
+// its outcome closes the breaker again or re-opens it for another
+// cooldown. This is what turns "the shared cache directory is corrupt /
+// on a dead NFS mount" from a request-failing outage into a throughput
+// degradation.
+type breaker struct {
+	mu        sync.Mutex
+	failures  int
+	threshold int
+	cooldown  time.Duration
+	openUntil time.Time
+	halfOpen  bool // a probe is in flight
+	now       func() time.Time
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	if threshold < 1 {
+		threshold = 3
+	}
+	if cooldown <= 0 {
+		cooldown = 5 * time.Second
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// Allow reports whether the protected operation may run. While open it
+// returns false; after the cooldown it admits exactly one probe until
+// that probe reports Success or Fail.
+func (b *breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.failures < b.threshold {
+		return true
+	}
+	if b.now().Before(b.openUntil) {
+		return false
+	}
+	if b.halfOpen {
+		return false
+	}
+	b.halfOpen = true
+	return true
+}
+
+// Success records a healthy operation and closes the breaker.
+func (b *breaker) Success() {
+	b.mu.Lock()
+	b.failures = 0
+	b.halfOpen = false
+	b.mu.Unlock()
+}
+
+// Fail records an infrastructure failure; at the threshold the breaker
+// opens for the cooldown.
+func (b *breaker) Fail() {
+	b.mu.Lock()
+	b.failures++
+	b.halfOpen = false
+	if b.failures >= b.threshold {
+		b.openUntil = b.now().Add(b.cooldown)
+	}
+	b.mu.Unlock()
+}
+
+// Open reports whether the breaker is currently rejecting operations.
+func (b *breaker) Open() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.failures >= b.threshold && b.now().Before(b.openUntil)
+}

@@ -1,0 +1,63 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerTripsAtThreshold(t *testing.T) {
+	b := newBreaker(3, time.Minute)
+	now := time.Unix(1000, 0)
+	b.now = func() time.Time { return now }
+
+	for i := 0; i < 2; i++ {
+		b.Fail()
+		if !b.Allow() {
+			t.Fatalf("breaker open after %d failures, threshold is 3", i+1)
+		}
+	}
+	b.Fail()
+	if b.Allow() {
+		t.Fatal("breaker still closed at threshold")
+	}
+	if !b.Open() {
+		t.Fatal("Open() = false after trip")
+	}
+}
+
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	b := newBreaker(2, time.Minute)
+	now := time.Unix(1000, 0)
+	b.now = func() time.Time { return now }
+
+	b.Fail()
+	b.Fail()
+	if b.Allow() {
+		t.Fatal("breaker closed during cooldown")
+	}
+	// Cooldown elapses: exactly one probe is admitted.
+	now = now.Add(2 * time.Minute)
+	if !b.Allow() {
+		t.Fatal("no half-open probe after cooldown")
+	}
+	if b.Allow() {
+		t.Fatal("second concurrent probe admitted while half-open")
+	}
+	// Probe fails: re-open for another cooldown.
+	b.Fail()
+	if b.Allow() {
+		t.Fatal("breaker closed immediately after failed probe")
+	}
+	// Probe succeeds after the next cooldown: breaker closes fully.
+	now = now.Add(2 * time.Minute)
+	if !b.Allow() {
+		t.Fatal("no probe after second cooldown")
+	}
+	b.Success()
+	if !b.Allow() || !b.Allow() {
+		t.Fatal("breaker not fully closed after successful probe")
+	}
+	if b.Open() {
+		t.Fatal("Open() = true after recovery")
+	}
+}

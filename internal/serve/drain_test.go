@@ -1,0 +1,162 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"graphlocality/internal/runctl"
+)
+
+// Drain invariant: every admitted job reaches a terminal state; a
+// draining server admits nothing new; Drain returns once the pool has
+// stopped — whether the jobs finished inside the grace period or had to
+// be force-cancelled.
+
+func TestDrainFinishesInFlightJobs(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2})
+
+	var jobs []*job
+	for i := 0; i < 6; i++ {
+		j, err := s.Submit(JobRequest{
+			Kind:   KindMetrics,
+			Graph:  GraphSpec{Kind: "er", Scale: 8},
+			Tenant: fmt.Sprintf("t%d", i%3),
+			Async:  true,
+		})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		jobs = append(jobs, j)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	for _, j := range jobs {
+		select {
+		case <-j.done:
+		default:
+			t.Fatalf("job %s not terminal after Drain", j.id)
+		}
+		if st := j.status(); st.State != StateDone {
+			t.Fatalf("job %s = %s (error: %s), want done — grace period was generous", j.id, st.State, st.Error)
+		}
+	}
+	// Nothing new gets in.
+	if _, err := s.Submit(JobRequest{Kind: KindMetrics, Graph: GraphSpec{Kind: "er", Scale: 8}}); err != ErrDraining {
+		t.Fatalf("Submit after Drain = %v, want ErrDraining", err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"kind":"metrics","graph":{"kind":"er","scale":8}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("POST after Drain = %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestDrainForceCancelsStuckJobsButLosesNone(t *testing.T) {
+	// Every job hangs: the grace period cannot possibly suffice, so Drain
+	// must escalate to force-cancel — and still account for every job.
+	remove := runctl.Inject(PointJobRun, runctl.Failpoint{Mode: runctl.FailHang})
+	defer remove()
+	s, _ := newTestServer(t, Config{Workers: 2})
+
+	var jobs []*job
+	for i := 0; i < 5; i++ {
+		j, err := s.Submit(JobRequest{
+			Kind:   KindMetrics,
+			Graph:  GraphSpec{Kind: "er", Scale: 8},
+			Tenant: fmt.Sprintf("t%d", i%2),
+			Async:  true,
+		})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		jobs = append(jobs, j)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("Drain took %v against hung jobs, grace was 200ms", elapsed)
+	}
+	var canceled int
+	for _, j := range jobs {
+		st := j.status()
+		if !st.State.Terminal() {
+			t.Fatalf("job %s lost in drain: state %s", j.id, st.State)
+		}
+		if st.State == StateCanceled {
+			canceled++
+		}
+	}
+	if canceled == 0 {
+		t.Fatal("no job recorded as canceled by the forced drain")
+	}
+	// The ledger balances: admitted = completed + failed + canceled.
+	reg := s.Registry()
+	admitted := reg.Counter("serve.jobs_admitted").Value()
+	settled := reg.Counter("serve.jobs_completed").Value() +
+		reg.Counter("serve.jobs_failed").Value() +
+		reg.Counter("serve.jobs_canceled").Value()
+	if admitted != uint64(len(jobs)) || settled != admitted {
+		t.Fatalf("ledger: admitted %d, settled %d (want both %d)", admitted, settled, len(jobs))
+	}
+}
+
+func TestCloseCancelsSyncWaiters(t *testing.T) {
+	// A sync client is parked on a hung job; Close must wake it with a
+	// typed canceled status, not leave the HTTP handler blocked forever.
+	remove := runctl.Inject(PointJobRun, runctl.Failpoint{Mode: runctl.FailHang})
+	defer remove()
+	s, ts := newTestServer(t, Config{Workers: 1})
+
+	type result struct {
+		code int
+		st   JobStatus
+		err  error
+	}
+	got := make(chan result, 1)
+	go func() {
+		// Not postJob: t.Fatalf must not run on a non-test goroutine.
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+			strings.NewReader(`{"kind":"metrics","graph":{"kind":"er","scale":8}}`))
+		if err != nil {
+			got <- result{err: err}
+			return
+		}
+		var st JobStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		got <- result{code: resp.StatusCode, st: st, err: err}
+	}()
+	waitFor(t, func() bool { return s.Registry().Counter("serve.jobs_admitted").Value() == 1 })
+	time.Sleep(20 * time.Millisecond) // let the worker pick it up and hang
+	s.Close()
+
+	select {
+	case r := <-got:
+		if r.err != nil {
+			t.Fatalf("sync waiter: %v", r.err)
+		}
+		if r.st.State != StateCanceled {
+			t.Fatalf("sync waiter got %d %s (error: %s), want canceled", r.code, r.st.State, r.st.Error)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("sync waiter still blocked after Close")
+	}
+}

@@ -1,0 +1,47 @@
+package serve
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeJobRequest asserts the API decoder's contract on arbitrary
+// bytes: it never panics, and every rejection is a typed *RequestError
+// (HTTP 400) — the daemon's front door must shrug off malformed input.
+// Seeds live in testdata/fuzz/FuzzDecodeJobRequest alongside the f.Add
+// cases below (mirroring FuzzManifestDecode in internal/obs).
+func FuzzDecodeJobRequest(f *testing.F) {
+	f.Add(`{"kind":"metrics","graph":{"kind":"er","scale":8}}`)
+	f.Add(`{"kind":"reorder","alg":"dbg","graph":{"kind":"social","scale":10,"edgefac":8,"seed":7}}`)
+	f.Add(`{"kind":"simulate","graph":{"kind":"web","scale":9},"direction":"push","deadline_ms":500,"async":true}`)
+	f.Add(`{"kind":"metrics","graph":{"kind":"er","scale":8},"tenant":"team-a","no_cache":true}`)
+	f.Add(``)
+	f.Add(`null`)
+	f.Add(`[]`)
+	f.Add(`{"kind":42}`)
+	f.Add(`{"kind":"metrics","graph":{"kind":"er","scale":1e309}}`)
+	f.Add(`{"kind":"metrics","graph":{"kind":"er","scale":8}}{"trailing":1}`)
+	f.Add(`{"kind":"metrics","graph":{"kind":"er","scale":8},"unknown_field":"x"}`)
+	f.Add(strings.Repeat(`{"kind":`, 1000))
+	f.Add("{\"kind\":\"metrics\",\"graph\":{\"kind\":\"\x00\",\"scale\":-8}}")
+
+	f.Fuzz(func(t *testing.T, body string) {
+		req, err := DecodeJobRequest(strings.NewReader(body), Limits{})
+		if err != nil {
+			var re *RequestError
+			if !errors.As(err, &re) {
+				t.Fatalf("DecodeJobRequest(%q) returned a non-request error: %v", body, err)
+			}
+			return
+		}
+		// Accepted requests are fully validated: re-validation must agree
+		// and the artifact key must be filesystem-safe.
+		if verr := ValidateJobRequest(&req, Limits{}); verr != nil {
+			t.Fatalf("accepted request fails re-validation: %v", verr)
+		}
+		if key := req.ArtifactKey(); strings.ContainsAny(key, "/\\ \x00") {
+			t.Fatalf("artifact key %q contains unsafe characters", key)
+		}
+	})
+}

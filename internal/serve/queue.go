@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"sync"
+
+	"graphlocality/internal/obs"
+)
+
+// queue is the bounded admission queue with per-tenant round-robin
+// fairness. One FIFO per tenant; dispatch rotates over tenants with
+// pending work, so a tenant flooding the queue delays its own jobs, not
+// everyone else's. The bound is global: when the queue is full the
+// request is shed (ErrQueueFull -> 429) regardless of tenant, which
+// keeps total queued work — and therefore worst-case queue latency —
+// bounded.
+type queue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	max    int
+	n      int
+	closed bool // CloseAdmit called: Add refuses, Next drains then stops
+
+	tenants map[string][]*job
+	order   []string // round-robin rotation over tenants with pending jobs
+	cursor  int
+
+	depth *obs.Gauge // serve.queue_depth
+}
+
+func newQueue(max int, depth *obs.Gauge) *queue {
+	q := &queue{max: max, tenants: make(map[string][]*job), depth: depth}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Add admits j or refuses with ErrQueueFull (shed) / ErrDraining.
+func (q *queue) Add(j *job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrDraining
+	}
+	if q.n >= q.max {
+		return ErrQueueFull
+	}
+	if _, ok := q.tenants[j.req.Tenant]; !ok {
+		q.order = append(q.order, j.req.Tenant)
+	}
+	q.tenants[j.req.Tenant] = append(q.tenants[j.req.Tenant], j)
+	q.n++
+	q.depth.Set(float64(q.n))
+	q.cond.Signal()
+	return nil
+}
+
+// Next blocks until a job is available and returns it, rotating fairly
+// over tenants. It returns ok=false once the queue is closed and empty —
+// the worker-pool shutdown signal.
+func (q *queue) Next() (*job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.n == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if q.n == 0 {
+		return nil, false
+	}
+	for {
+		if q.cursor >= len(q.order) {
+			q.cursor = 0
+		}
+		tenant := q.order[q.cursor]
+		if jobs := q.tenants[tenant]; len(jobs) > 0 {
+			j := jobs[0]
+			q.tenants[tenant] = jobs[1:]
+			q.n--
+			q.depth.Set(float64(q.n))
+			q.cursor++
+			return j, true
+		}
+		// Tenant went idle: drop it from the rotation (it re-registers on
+		// its next Add) so the order slice cannot grow without bound.
+		delete(q.tenants, tenant)
+		q.order = append(q.order[:q.cursor], q.order[q.cursor+1:]...)
+	}
+}
+
+// CloseAdmit stops admission: subsequent Add calls fail with ErrDraining
+// and Next drains the remaining jobs, then reports done. Idempotent.
+func (q *queue) CloseAdmit() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// Depth returns the current number of queued jobs.
+func (q *queue) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.n
+}

@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"graphlocality/internal/obs"
+)
+
+func mkJob(id, tenant string) *job {
+	return &job{
+		id:   id,
+		req:  JobRequest{Tenant: tenant},
+		done: make(chan struct{}),
+	}
+}
+
+func testQueue(max int) *queue {
+	return newQueue(max, obs.NewRegistry().Gauge("serve.queue_depth"))
+}
+
+func TestQueueFairRotation(t *testing.T) {
+	q := testQueue(16)
+	// Tenant A floods four jobs, then B and C each submit one. Fair
+	// dispatch must not make B and C wait behind A's backlog.
+	for i := 0; i < 4; i++ {
+		if err := q.Add(mkJob(fmt.Sprintf("a%d", i), "a")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := q.Add(mkJob("b0", "b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Add(mkJob("c0", "c")); err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for i := 0; i < 6; i++ {
+		j, ok := q.Next()
+		if !ok {
+			t.Fatalf("queue closed early at %d", i)
+		}
+		got = append(got, j.id)
+	}
+	want := []string{"a0", "b0", "c0", "a1", "a2", "a3"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dispatch order = %v, want %v", got, want)
+		}
+	}
+	if d := q.Depth(); d != 0 {
+		t.Fatalf("Depth() = %d after draining, want 0", d)
+	}
+}
+
+func TestQueueShedsAtCapacity(t *testing.T) {
+	q := testQueue(2)
+	if err := q.Add(mkJob("1", "a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Add(mkJob("2", "b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Add(mkJob("3", "c")); err != ErrQueueFull {
+		t.Fatalf("Add over capacity = %v, want ErrQueueFull", err)
+	}
+	// Dispatching one frees a slot.
+	if _, ok := q.Next(); !ok {
+		t.Fatal("Next returned closed")
+	}
+	if err := q.Add(mkJob("4", "c")); err != nil {
+		t.Fatalf("Add after free slot = %v", err)
+	}
+}
+
+func TestQueueCloseAdmitDrainsThenStops(t *testing.T) {
+	q := testQueue(8)
+	q.Add(mkJob("1", "a"))
+	q.Add(mkJob("2", "a"))
+	q.CloseAdmit()
+	q.CloseAdmit() // idempotent
+	if err := q.Add(mkJob("3", "a")); err != ErrDraining {
+		t.Fatalf("Add after close = %v, want ErrDraining", err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, ok := q.Next(); !ok {
+			t.Fatalf("Next() drained only %d of 2 queued jobs", i)
+		}
+	}
+	if _, ok := q.Next(); ok {
+		t.Fatal("Next() after close+empty returned a job")
+	}
+}
+
+func TestQueueNextBlocksUntilAdd(t *testing.T) {
+	q := testQueue(8)
+	got := make(chan *job, 1)
+	go func() {
+		j, _ := q.Next()
+		got <- j
+	}()
+	time.Sleep(10 * time.Millisecond) // let Next park on the cond
+	q.Add(mkJob("late", "a"))
+	select {
+	case j := <-got:
+		if j == nil || j.id != "late" {
+			t.Fatalf("Next() = %v, want job late", j)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Next() did not wake after Add")
+	}
+}
+
+func TestQueueCloseWakesBlockedNext(t *testing.T) {
+	q := testQueue(8)
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := q.Next()
+		done <- ok
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.CloseAdmit()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("Next() on closed empty queue reported a job")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("CloseAdmit did not wake a blocked Next")
+	}
+}
