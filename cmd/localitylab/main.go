@@ -25,6 +25,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"strings"
+	"text/tabwriter"
 	"time"
 
 	"graphlocality/internal/cachesim"
@@ -63,6 +64,8 @@ func main() {
 		err = cmdGen(os.Args[2:])
 	case "reorder":
 		err = cmdReorder(os.Args[2:])
+	case "algorithms":
+		err = cmdAlgorithms(os.Args[2:])
 	case "metrics":
 		err = cmdMetrics(os.Args[2:])
 	case "spmv":
@@ -149,7 +152,9 @@ func usage() {
 
 Commands:
   gen         generate a synthetic dataset (social, web, er, ba)
-  reorder     apply a reordering algorithm to a graph file
+  reorder     apply a reordering algorithm to a graph file; -alg takes a
+              spec like ro, go:window=7 or brew:detect=louvain,hub=hs
+  algorithms  list registered reordering algorithms (name, class, options)
   metrics     compute locality metrics of a graph
   spmv        run and time parallel SpMV traversals
   simulate    run the trace-based cache/TLB simulation
@@ -160,7 +165,8 @@ Commands:
   replay      replay a recorded trace against a cache configuration
   ihtl        build iHTL flipped blocks and compare misses vs plain pull
   experiment  regenerate a paper table or figure (table1..table7,
-              fig1..fig6, edr, gap, ihtl, hybrid, hilbert, utilization, all)
+              fig1..fig6, edr, gap, ihtl, hybrid, brew, hilbert,
+              utilization, all)
   obs         inspect run manifests: obs show <m.json>, obs diff <a> <b>
   store       maintain a -cachedir artifact store: store stat|verify|gc -dir D
   bench       performance harness: bench parallel (experiment grid serial vs
@@ -280,7 +286,7 @@ func cmdGen(args []string) error {
 func cmdReorder(args []string) error {
 	fs := flag.NewFlagSet("reorder", flag.ExitOnError)
 	in := fs.String("graph", "", "input graph (binary)")
-	algName := fs.String("alg", "ro", "algorithm: "+strings.Join(reorder.List(), ", "))
+	algSpec := fs.String("alg", "ro", "algorithm spec: name[:key=value,...], names: "+strings.Join(reorder.List(), ", "))
 	seed := fs.Uint64("seed", 1, "seed for randomized algorithms")
 	window := fs.Int("window", 5, "GOrder/hybrid sliding-window size")
 	cacheBytes := fs.Uint64("cachebytes", 0, "cache capacity for cache-aware variants (sb, ro)")
@@ -293,21 +299,37 @@ func cmdReorder(args []string) error {
 	if err != nil {
 		return err
 	}
-	// Only options the user set explicitly are passed on, so the registry
-	// can reject combinations the algorithm does not accept (e.g. -seed
-	// with a deterministic ordering).
-	var opts []reorder.Option
+	// -alg takes a full spec ("ro", "go:window=7", "brew:detect=lp"). The
+	// dedicated flags remain as shorthand: only flags the user set
+	// explicitly are folded into the spec, so the registry can still
+	// reject combinations the algorithm does not accept, and a key given
+	// both ways is a conflict rather than a silent override.
+	spec, err := reorder.ParseSpec(*algSpec)
+	if err != nil {
+		return usagef("%v", err)
+	}
+	var flagErr error
+	addParam := func(key, value string) {
+		if _, dup := spec.Get(key); dup {
+			flagErr = usagef("option %s given both as -%s and inside -alg %q", key, key, *algSpec)
+			return
+		}
+		spec.Params = append(spec.Params, reorder.Param{Key: key, Value: value})
+	}
 	fs.Visit(func(f *flag.Flag) {
 		switch f.Name {
 		case "seed":
-			opts = append(opts, reorder.WithSeed(*seed))
+			addParam("seed", fmt.Sprintf("%d", *seed))
 		case "window":
-			opts = append(opts, reorder.WithWindow(*window))
+			addParam("window", fmt.Sprintf("%d", *window))
 		case "cachebytes":
-			opts = append(opts, reorder.WithCacheBytes(*cacheBytes))
+			addParam("cachebytes", fmt.Sprintf("%d", *cacheBytes))
 		}
 	})
-	alg, err := reorder.New(*algName, opts...)
+	if flagErr != nil {
+		return flagErr
+	}
+	alg, err := spec.New()
 	if err != nil {
 		return err
 	}
@@ -330,6 +352,42 @@ func cmdReorder(args []string) error {
 		return nil
 	}
 	return saveGraph(g.Relabel(res.Perm), *out)
+}
+
+// cmdAlgorithms prints the registry's metadata: one row per algorithm
+// with its cost class, aliases, accepted generic options and whether it
+// takes structured spec parameters.
+func cmdAlgorithms(args []string) error {
+	fs := flag.NewFlagSet("algorithms", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "emit machine-readable JSON instead of the table")
+	fs.Parse(args)
+	infos := reorder.Registrations()
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(infos)
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "NAME\tCLASS\tALIASES\tOPTIONS\tDESCRIPTION")
+	for _, info := range infos {
+		opts := strings.Join(info.Accepts, ",")
+		if info.Composable {
+			if opts != "" {
+				opts += ","
+			}
+			opts += "spec..."
+		}
+		if opts == "" {
+			opts = "-"
+		}
+		aliases := strings.Join(info.Aliases, ",")
+		if aliases == "" {
+			aliases = "-"
+		}
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\n",
+			info.Name, info.Class, aliases, opts, info.Description)
+	}
+	return w.Flush()
 }
 
 func cmdMetrics(args []string) error {
@@ -510,6 +568,7 @@ func cmdSimulate(args []string) error {
 func cmdExperiment(args []string) error {
 	fs := flag.NewFlagSet("experiment", flag.ExitOnError)
 	sizeName := fs.String("size", "standard", "dataset scale: tiny or standard")
+	algsFlag := fs.String("algs", "", "comma-separated algorithm specs (e.g. initial,go:window=7,brew) replacing the paper line-up")
 	csvDir := fs.String("csv", "", "also write machine-readable CSV files into this directory")
 	graphsFlag := fs.String("graphs", "", "comma-separated binary graph files to use instead of the synthetic suite")
 	cacheDir := fs.String("cachedir", "", "checkpoint computed permutations into this directory (write-through)")
@@ -531,7 +590,7 @@ func cmdExperiment(args []string) error {
 	}
 	fs.Parse(args)
 	if id == "" {
-		return usagef("experiment id required (table1..table7, fig1..fig6, edr, gap, ihtl, hybrid, hilbert, utilization, all)")
+		return usagef("experiment id required (table1..table7, fig1..fig6, edr, gap, ihtl, hybrid, brew, hilbert, utilization, all)")
 	}
 	if *resume && *cacheDir == "" {
 		return usagef("-resume requires -cachedir")
@@ -603,6 +662,12 @@ func cmdExperiment(args []string) error {
 		}
 	}
 	algs := expt.StandardAlgorithms()
+	if *algsFlag != "" {
+		algs, err = expt.AlgorithmsFromSpecs(strings.Split(*algsFlag, ","))
+		if err != nil {
+			return usagef("-algs: %v", err)
+		}
+	}
 
 	writeCSV := func(name string, write func(w *os.File) error) error {
 		if *csvDir == "" {
@@ -723,6 +788,9 @@ func cmdExperiment(args []string) error {
 		case "hybrid":
 			fmt.Println("== §VIII-C: cache-aware RA variants and the RO+GO hybrid ==")
 			fmt.Print(expt.RenderHybrid(expt.HybridExperiment(s, contrastOnly(ds))))
+		case "brew":
+			fmt.Println("== per-community hybrid (brew) vs every global RA ==")
+			fmt.Print(expt.RenderBrew(expt.BrewExperiment(s, contrastOnly(ds))))
 		case "hilbert":
 			fmt.Println("== §IX-A: Hilbert-curve edge ordering vs row COO vs CSC pull ==")
 			fmt.Print(expt.RenderHilbert(expt.HilbertExperiment(s, ds)))
@@ -760,7 +828,7 @@ func cmdExperiment(args []string) error {
 	if id == "all" {
 		for _, one := range []string{"table1", "table2", "table3", "table4", "table5",
 			"table6", "table7", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "edr", "gap",
-			"ihtl", "hybrid", "hilbert", "utilization"} {
+			"ihtl", "hybrid", "brew", "hilbert", "utilization"} {
 			if err := run(one); err != nil {
 				return err
 			}

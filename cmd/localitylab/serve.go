@@ -119,6 +119,13 @@ func cmdServe(args []string) error {
 		Version:         buildVersion(),
 	})
 
+	// Install the handler before the listener opens: once a client can see
+	// the port, a signal must hit the orderly path, never the default
+	// disposition.
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		srv.Close()
@@ -128,10 +135,6 @@ func cmdServe(args []string) error {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 	fmt.Fprintf(os.Stderr, "localitylab: serving on %s\n", ln.Addr())
-
-	sigCh := make(chan os.Signal, 2)
-	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
-	defer signal.Stop(sigCh)
 
 	for {
 		select {

@@ -118,6 +118,7 @@ func TestGolden(t *testing.T) {
 			})
 		}},
 		{"ihtl", func() string { return RenderIHTL(IHTLExperiment(s, ds)) }},
+		{"brew", func() string { return RenderBrew(BrewExperiment(s, []Dataset{social, web})) }},
 		{"hilbert", func() string { return RenderHilbert(HilbertExperiment(s, ds)) }},
 		{"utilization", func() string {
 			return RenderUtilization(UtilizationExperiment(s, []Dataset{social, web}, algs))

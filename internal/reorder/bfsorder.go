@@ -11,8 +11,10 @@ type BFSOrder struct{}
 
 func init() {
 	MustRegister(Registration{
-		Name: "bfs",
-		New:  func(*Options) Algorithm { return Wrap(BFSOrder{}) },
+		Name:        "bfs",
+		Description: "breadth-first discovery order from the highest-degree vertex",
+		Class:       ClassLight,
+		New:         func(*Options) Algorithm { return Wrap(BFSOrder{}) },
 	})
 }
 

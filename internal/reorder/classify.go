@@ -1,0 +1,92 @@
+package reorder
+
+import "graphlocality/internal/graph"
+
+// CommunityClass is the structural bucket the brew classifier assigns to a
+// community, which decides which sub-algorithm reorders it. The buckets
+// follow the paper's skew observation: hub-dominated structure rewards
+// degree orderings, dense clustered structure rewards community orderings,
+// and everything else gets cheap degree-based grouping.
+type CommunityClass int
+
+const (
+	// CommunitySparse is the default bucket: no pronounced hubs, no dense
+	// core — cheap degree-based grouping is as good as anything.
+	CommunitySparse CommunityClass = iota
+	// CommunityHubHeavy marks skewed internal degree distributions (a few
+	// vertices dominate): hub-packing orderings win here.
+	CommunityHubHeavy
+	// CommunityDense marks high internal edge density (near-clique
+	// blocks): community-clustering orderings win here.
+	CommunityDense
+)
+
+// String implements fmt.Stringer.
+func (c CommunityClass) String() string {
+	switch c {
+	case CommunityHubHeavy:
+		return "hub-heavy"
+	case CommunityDense:
+		return "dense"
+	default:
+		return "sparse"
+	}
+}
+
+// Classifier holds the thresholds of the per-community structure
+// classifier. The zero value classifies with the defaults.
+type Classifier struct {
+	// SkewRatio is the max/mean internal-degree ratio at or above which a
+	// community counts as hub-heavy (default 4).
+	SkewRatio float64
+	// Density is the internal edge density (directed edges over n·(n−1))
+	// at or above which a community counts as dense (default 0.25).
+	Density float64
+}
+
+const (
+	defaultSkewRatio = 4.0
+	defaultDensity   = 0.25
+)
+
+// Classify buckets one community view by two one-sweep statistics over its
+// internal degree sequence: degree skew (max/mean) and internal density.
+// Hub-heaviness is checked first — a skewed community benefits from hub
+// packing even when it is also fairly dense, whereas a near-clique has
+// uniform degrees and never trips the skew test.
+func (c Classifier) Classify(s *graph.Subgraph) CommunityClass {
+	n := s.NumVertices()
+	if n < 2 {
+		return CommunitySparse
+	}
+	skewAt := c.SkewRatio
+	if skewAt <= 0 {
+		skewAt = defaultSkewRatio
+	}
+	denseAt := c.Density
+	if denseAt <= 0 {
+		denseAt = defaultDensity
+	}
+
+	deg := s.InternalDegrees()
+	var sum, max uint64
+	for _, d := range deg {
+		sum += uint64(d)
+		if uint64(d) > max {
+			max = uint64(d)
+		}
+	}
+	if sum == 0 {
+		return CommunitySparse
+	}
+	mean := float64(sum) / float64(n)
+	if float64(max) >= skewAt*mean {
+		return CommunityHubHeavy
+	}
+	// sum counts each internal directed edge twice (out + in side).
+	edges := float64(sum) / 2
+	if edges/(float64(n)*float64(n-1)) >= denseAt {
+		return CommunityDense
+	}
+	return CommunitySparse
+}

@@ -26,12 +26,15 @@ func ExampleRun() {
 	// Output: Initial perm is valid: true
 }
 
-func ExampleRegistry() {
-	alg, err := reorder.Registry("ro", 0)
+func ExampleNewFromSpec() {
+	alg, err := reorder.NewFromSpec("ro")
 	fmt.Println(alg.Name(), err)
-	_, err = reorder.Registry("nope", 0)
+	alg, err = reorder.NewFromSpec("go:window=7")
+	fmt.Println(alg.Name(), err)
+	_, err = reorder.NewFromSpec("nope")
 	fmt.Println(err != nil)
 	// Output:
 	// RO <nil>
+	// GO <nil>
 	// true
 }

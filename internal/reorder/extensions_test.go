@@ -53,8 +53,8 @@ func TestHybridName(t *testing.T) {
 	if NewHybrid().Name() != "RO+GO" {
 		t.Errorf("Name = %q", NewHybrid().Name())
 	}
-	if alg, err := Registry("hybrid", 0); err != nil || alg.Name() != "RO+GO" {
-		t.Errorf("Registry(hybrid) = %v, %v", alg, err)
+	if alg, err := NewFromSpec("hybrid"); err != nil || alg.Name() != "RO+GO" {
+		t.Errorf("NewFromSpec(hybrid) = %v, %v", alg, err)
 	}
 }
 

@@ -35,10 +35,12 @@ type GOrder struct {
 
 func init() {
 	MustRegister(Registration{
-		Name:    "go",
-		Aliases: []string{"gorder"},
-		Accepts: []string{OptWindow},
-		New:     func(o *Options) Algorithm { return &GOrder{Window: o.Window} },
+		Name:        "go",
+		Aliases:     []string{"gorder"},
+		Description: "GOrder: sliding-window sibling/neighbour score maximization (SIGMOD'16)",
+		Class:       ClassHeavy,
+		Accepts:     []string{OptWindow},
+		New:         func(o *Options) Algorithm { return &GOrder{Window: o.Window} },
 	})
 }
 

@@ -24,10 +24,12 @@ type Hybrid struct {
 
 func init() {
 	MustRegister(Registration{
-		Name:    "hybrid",
-		Aliases: []string{"ro+go"},
-		Accepts: []string{OptWindow},
-		New:     func(o *Options) Algorithm { return &Hybrid{Window: o.Window} },
+		Name:        "hybrid",
+		Aliases:     []string{"ro+go"},
+		Description: "RO over low-degree vertices, then GOrder over the hub block (paper §VIII-C)",
+		Class:       ClassMeta,
+		Accepts:     []string{OptWindow},
+		New:         func(o *Options) Algorithm { return &Hybrid{Window: o.Window} },
 	})
 }
 

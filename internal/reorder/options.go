@@ -1,5 +1,7 @@
 package reorder
 
+import "fmt"
+
 // Canonical option names, used both to declare what a Registration
 // accepts and to report unknown-option errors.
 const (
@@ -42,6 +44,22 @@ func (o *Options) set(name string) {
 
 func defaultOptions() *Options {
 	return &Options{Seed: 1, Window: 5}
+}
+
+// validate range-checks every explicitly provided option value, so a bad
+// value fails construction with a typed *OptionError instead of being
+// silently clamped (or crashing) inside an algorithm.
+func (o *Options) validate(alg string) error {
+	if o.Provided(OptWindow) && o.Window < 1 {
+		return &OptionError{Alg: alg, Option: OptWindow,
+			Value: fmt.Sprintf("%d", o.Window), Reason: "window must be >= 1"}
+	}
+	if o.Provided(OptEDR) && o.EDRMax != 0 && o.EDRMin > o.EDRMax {
+		return &OptionError{Alg: alg, Option: OptEDR,
+			Value:  fmt.Sprintf("%d-%d", o.EDRMin, o.EDRMax),
+			Reason: "degree range is empty (min > max)"}
+	}
+	return nil
 }
 
 // WithSeed seeds randomized orderings.

@@ -47,9 +47,11 @@ type RabbitOrder struct {
 
 func init() {
 	MustRegister(Registration{
-		Name:    "ro",
-		Aliases: []string{"rabbit", "rabbitorder"},
-		Accepts: []string{OptEDR, OptCacheBytes},
+		Name:        "ro",
+		Aliases:     []string{"rabbit", "rabbitorder"},
+		Description: "Rabbit-Order: modularity-greedy community growth + dendrogram DFS (IPDPS'16)",
+		Class:       ClassHeavy,
+		Accepts:     []string{OptEDR, OptCacheBytes},
 		New: func(o *Options) Algorithm {
 			return &RabbitOrder{
 				MinDegree:        o.EDRMin,

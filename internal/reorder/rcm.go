@@ -16,8 +16,10 @@ type RCM struct{}
 
 func init() {
 	MustRegister(Registration{
-		Name: "rcm",
-		New:  func(*Options) Algorithm { return Wrap(RCM{}) },
+		Name:        "rcm",
+		Description: "Reverse Cuthill-McKee bandwidth reduction (1969 baseline)",
+		Class:       ClassLight,
+		New:         func(*Options) Algorithm { return Wrap(RCM{}) },
 	})
 }
 

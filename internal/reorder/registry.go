@@ -7,17 +7,61 @@ import (
 	"sync"
 )
 
+// Class is the machine-readable cost class of a reordering algorithm, the
+// trait the paper's skew results revolve around: lightweight RAs
+// (degree-based, near-linear) versus heavyweight RAs (community/score
+// driven), plus meta-algorithms that compose other registered RAs.
+type Class string
+
+const (
+	// ClassLight marks near-linear degree/traversal orderings (DBG,
+	// HubSort, ...): cheap preprocessing, wins on hub-heavy structure.
+	ClassLight Class = "light"
+	// ClassHeavy marks community- or score-driven orderings (RO, GO,
+	// SB): expensive preprocessing, wins on community structure.
+	ClassHeavy Class = "heavy"
+	// ClassMeta marks algorithms that compose other registry entries
+	// (brew, hybrid) rather than ordering vertices by one fixed rule.
+	ClassMeta Class = "meta"
+)
+
 // Registration describes one algorithm to the registry.
 type Registration struct {
 	// Name is the canonical lookup key ("sb", "go", "ro", ...).
 	Name string
 	// Aliases are alternative lookup keys ("slashburn", "gorder", ...).
 	Aliases []string
+	// Description is a one-line human-readable summary, surfaced by the
+	// `localitylab algorithms` listing.
+	Description string
+	// Class is the cost class (light, heavy, meta). Consumers should
+	// branch on this instead of hard-coding name lists.
+	Class Class
 	// Accepts lists the option names (OptSeed, OptWindow, ...) the
 	// factory consumes; passing any other option to New is an error.
 	Accepts []string
 	// New builds the algorithm from resolved options.
 	New func(o *Options) Algorithm
+	// Composable, when non-nil, builds the algorithm from a full parsed
+	// Spec instead of just the generic options — the hook that lets a
+	// meta-algorithm consume structured parameters (sub-algorithm names,
+	// detector choice, resolution) from the same spec grammar every
+	// construction surface shares. Spec.New prefers it over New; plain
+	// New(name, opts...) still uses the option factory.
+	Composable func(o *Options, spec Spec) (Algorithm, error)
+}
+
+// Info is the machine-readable metadata of one registered algorithm, in a
+// form safe to hand out (no factories).
+type Info struct {
+	Name        string
+	Aliases     []string
+	Description string
+	Class       Class
+	Accepts     []string
+	// Composable reports whether the algorithm takes structured spec
+	// parameters beyond the generic option keys.
+	Composable bool
 }
 
 var registry = struct {
@@ -68,15 +112,92 @@ func List() []string {
 	return names
 }
 
-// New builds the named algorithm with the given options. Unknown names
-// and options the algorithm does not accept are errors.
-func New(name string, opts ...Option) (Algorithm, error) {
+// Registrations returns the metadata of every registered algorithm,
+// sorted by canonical name. Consumers that used to hard-code per-name
+// traits (is it seeded? is it heavyweight?) should branch on this.
+func Registrations() []Info {
+	registry.RLock()
+	defer registry.RUnlock()
+	infos := make([]Info, 0, len(registry.names))
+	for _, name := range registry.names {
+		r := registry.byName[name]
+		infos = append(infos, Info{
+			Name:        r.Name,
+			Aliases:     append([]string(nil), r.Aliases...),
+			Description: r.Description,
+			Class:       r.Class,
+			Accepts:     append([]string(nil), r.Accepts...),
+			Composable:  r.Composable != nil,
+		})
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return infos
+}
+
+// Lookup returns the metadata of one algorithm (by canonical name or
+// alias).
+func Lookup(name string) (Info, bool) {
+	registry.RLock()
+	r := registry.byName[name]
+	registry.RUnlock()
+	if r == nil {
+		return Info{}, false
+	}
+	return Info{
+		Name:        r.Name,
+		Aliases:     append([]string(nil), r.Aliases...),
+		Description: r.Description,
+		Class:       r.Class,
+		Accepts:     append([]string(nil), r.Accepts...),
+		Composable:  r.Composable != nil,
+	}, true
+}
+
+// UnknownAlgorithmError reports a lookup of a name the registry does not
+// know.
+type UnknownAlgorithmError struct {
+	Name  string
+	Known []string // sorted canonical names
+}
+
+func (e *UnknownAlgorithmError) Error() string {
+	return fmt.Sprintf("reorder: unknown algorithm %q (known: %s)",
+		e.Name, strings.Join(e.Known, ", "))
+}
+
+// OptionError reports a bad option for an algorithm: either an option the
+// algorithm does not accept (Value empty) or an accepted option carrying
+// an out-of-range value.
+type OptionError struct {
+	Alg    string // algorithm name as given
+	Option string // canonical option name (OptSeed, ...)
+	Value  string // offending value, "" for not-accepted errors
+	Reason string
+}
+
+func (e *OptionError) Error() string {
+	if e.Value == "" {
+		return fmt.Sprintf("reorder: algorithm %q does not accept option %q (%s)",
+			e.Alg, e.Option, e.Reason)
+	}
+	return fmt.Sprintf("reorder: algorithm %q option %s=%s invalid: %s",
+		e.Alg, e.Option, e.Value, e.Reason)
+}
+
+func lookup(name string) (*Registration, error) {
 	registry.RLock()
 	reg := registry.byName[name]
 	registry.RUnlock()
 	if reg == nil {
-		return nil, fmt.Errorf("reorder: unknown algorithm %q (known: %s)", name, strings.Join(List(), ", "))
+		return nil, &UnknownAlgorithmError{Name: name, Known: List()}
 	}
+	return reg, nil
+}
+
+// resolveOptions applies opts over the defaults and validates them against
+// the registration: every provided option must be accepted by the
+// algorithm AND carry an in-range value.
+func resolveOptions(reg *Registration, name string, opts []Option) (*Options, error) {
 	o := defaultOptions()
 	for _, opt := range opts {
 		opt(o)
@@ -87,9 +208,28 @@ func New(name string, opts ...Option) (Algorithm, error) {
 	}
 	for provided := range o.provided {
 		if !accepts[provided] {
-			return nil, fmt.Errorf("reorder: algorithm %q does not accept option %q (accepts: %s)",
-				name, provided, acceptsList(reg.Accepts))
+			return nil, &OptionError{Alg: name, Option: provided,
+				Reason: "accepts: " + acceptsList(reg.Accepts)}
 		}
+	}
+	if err := o.validate(name); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+// New builds the named algorithm with the given options. Unknown names
+// surface as *UnknownAlgorithmError; options the algorithm does not
+// accept, or accepted options with out-of-range values, surface as
+// *OptionError.
+func New(name string, opts ...Option) (Algorithm, error) {
+	reg, err := lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	o, err := resolveOptions(reg, name, opts)
+	if err != nil {
+		return nil, err
 	}
 	return reg.New(o), nil
 }
@@ -111,18 +251,4 @@ func MustNew(name string, opts ...Option) Algorithm {
 		panic(err)
 	}
 	return alg
-}
-
-// Registry returns the standard algorithm set by name, threading seed to
-// algorithms that take one.
-//
-// Deprecated: use New with functional options (WithSeed and friends).
-func Registry(name string, seed uint64) (Algorithm, error) {
-	alg, err := New(name, WithSeed(seed))
-	if err == nil {
-		return alg, nil
-	}
-	// The named algorithm may simply not take a seed; retry without it so
-	// the legacy signature keeps working for every algorithm.
-	return New(name)
 }

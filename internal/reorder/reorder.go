@@ -122,31 +122,45 @@ func RunContext(ctx context.Context, alg Algorithm, g *graph.Graph) (Result, err
 
 func init() {
 	MustRegister(Registration{
-		Name:    "identity",
-		Aliases: []string{"initial", "bl"},
-		New:     func(*Options) Algorithm { return Identity{} },
+		Name:        "identity",
+		Aliases:     []string{"initial", "bl"},
+		Description: "baseline: keep the initial vertex order",
+		Class:       ClassLight,
+		New:         func(*Options) Algorithm { return Identity{} },
 	})
 	MustRegister(Registration{
-		Name:    "random",
-		Accepts: []string{OptSeed},
-		New:     func(o *Options) Algorithm { return Wrap(Random{Seed: o.Seed}) },
+		Name:        "random",
+		Description: "uniform shuffle, the locality-destroying control",
+		Class:       ClassLight,
+		Accepts:     []string{OptSeed},
+		New:         func(o *Options) Algorithm { return Wrap(Random{Seed: o.Seed}) },
 	})
 	MustRegister(Registration{
-		Name:    "degsort",
-		Aliases: []string{"degree"},
-		New:     func(*Options) Algorithm { return Wrap(DegreeSort{}) },
+		Name:        "degsort",
+		Aliases:     []string{"degree"},
+		Description: "sort all vertices by descending total degree",
+		Class:       ClassLight,
+		New:         func(*Options) Algorithm { return Wrap(DegreeSort{}) },
 	})
 	MustRegister(Registration{
-		Name: "hubsort",
-		New:  func(*Options) Algorithm { return Wrap(HubSort{}) },
+		Name:        "hubsort",
+		Aliases:     []string{"hs"},
+		Description: "sort hub vertices by degree, keep the rest in place",
+		Class:       ClassLight,
+		New:         func(*Options) Algorithm { return Wrap(HubSort{}) },
 	})
 	MustRegister(Registration{
-		Name: "hubcluster",
-		New:  func(*Options) Algorithm { return Wrap(HubCluster{}) },
+		Name:        "hubcluster",
+		Aliases:     []string{"hc"},
+		Description: "pack hubs into low IDs without sorting (sort-free HubSort)",
+		Class:       ClassLight,
+		New:         func(*Options) Algorithm { return Wrap(HubCluster{}) },
 	})
 	MustRegister(Registration{
-		Name: "dbg",
-		New:  func(*Options) Algorithm { return Wrap(DBG{}) },
+		Name:        "dbg",
+		Description: "degree-based grouping into power-of-two degree classes",
+		Class:       ClassLight,
+		New:         func(*Options) Algorithm { return Wrap(DBG{}) },
 	})
 }
 

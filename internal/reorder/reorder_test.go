@@ -204,16 +204,16 @@ func TestRegistry(t *testing.T) {
 		"hubsort", "hubcluster", "dbg", "rcm", "bfs", "sb", "slashburn", "sb++",
 		"slashburn++", "go", "gorder", "ro", "rabbit", "rabbitorder"}
 	for _, n := range names {
-		alg, err := Registry(n, 1)
+		alg, err := New(n)
 		if err != nil {
-			t.Errorf("Registry(%q): %v", n, err)
+			t.Errorf("New(%q): %v", n, err)
 			continue
 		}
 		if alg.Name() == "" {
-			t.Errorf("Registry(%q): empty name", n)
+			t.Errorf("New(%q): empty name", n)
 		}
 	}
-	if _, err := Registry("bogus", 1); err == nil {
+	if _, err := New("bogus"); err == nil {
 		t.Error("unknown algorithm accepted")
 	}
 }

@@ -51,16 +51,20 @@ type SlashBurn struct {
 
 func init() {
 	MustRegister(Registration{
-		Name:    "sb",
-		Aliases: []string{"slashburn"},
-		Accepts: []string{OptCacheBytes},
+		Name:        "sb",
+		Aliases:     []string{"slashburn"},
+		Description: "SlashBurn: iterative hub removal + GCC ordering (paper §IV-A)",
+		Class:       ClassHeavy,
+		Accepts:     []string{OptCacheBytes},
 		New: func(o *Options) Algorithm {
 			return &SlashBurn{KFraction: 0.02, CacheBytes: o.CacheBytes}
 		},
 	})
 	MustRegister(Registration{
-		Name:    "sb++",
-		Aliases: []string{"slashburn++"},
+		Name:        "sb++",
+		Aliases:     []string{"slashburn++"},
+		Description: "SlashBurn++: SlashBurn with early stopping at max degree sqrt(|V|)",
+		Class:       ClassHeavy,
 		New: func(*Options) Algorithm {
 			return &SlashBurn{KFraction: 0.02, StopAtSqrtDegree: true}
 		},

@@ -250,9 +250,17 @@ func ValidateJobRequest(req *JobRequest, limits Limits) error {
 		}
 	}
 	if req.Alg != "" {
-		if _, err := reorder.New(req.Alg); err != nil {
+		// Alg is a full spec ("ro", "go:window=7", "brew:detect=lp"):
+		// validated here so execution cannot fail on a bad algorithm, and
+		// canonicalized so equivalent specs dedup to one artifact.
+		spec, err := reorder.ParseSpec(req.Alg)
+		if err != nil {
 			return badRequestf("%v", err)
 		}
+		if _, err := spec.New(); err != nil {
+			return badRequestf("%v", err)
+		}
+		req.Alg = spec.Canonical()
 	}
 	if req.Direction != "" {
 		if req.Kind != KindSimulate {
