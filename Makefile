@@ -1,6 +1,6 @@
 # Tier-1 verification lives in verify.sh; `make verify` is the one command
 # to run before committing.
-.PHONY: verify build test race vet bench bench-parallel bench-pipeline bench-diff bench-serve
+.PHONY: verify build test race vet bench bench-parallel bench-pipeline bench-multicore bench-multicore-diff bench-diff bench-serve
 
 verify:
 	./verify.sh
@@ -31,6 +31,20 @@ bench-serve:
 	/tmp/localitylab-bench loadtest -url http://127.0.0.1:18099 -n 140 -c 8 -out BENCH_serve.json; \
 	STATUS=$$?; kill -TERM $$SERVE_PID; wait $$SERVE_PID; \
 	rm -rf /tmp/localitylab-bench-cache; exit $$STATUS
+
+# Sweeps the multicore simulation pipeline and the boba parallel ordering
+# across worker counts (each row cross-checked bit-exact against the scalar
+# reference) and writes BENCH_multicore.json, the committed scaling
+# baseline.
+bench-multicore:
+	go run ./cmd/localitylab bench multicore -size standard -out BENCH_multicore.json
+
+# Scaling-erosion gate: re-runs the multicore sweep into a scratch report
+# and compares against the committed baseline. Meaningful on multicore
+# machines; on one core the run still proves bit-exactness per row.
+bench-multicore-diff:
+	go run ./cmd/localitylab bench multicore -size standard -out /tmp/BENCH_multicore.json
+	go run ./cmd/localitylab bench diff BENCH_multicore.json /tmp/BENCH_multicore.json
 
 # Regression gate: re-runs the pipeline benchmarks into a scratch report
 # and compares it against the committed baseline with the CI tolerance.

@@ -4,6 +4,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strconv"
+	"strings"
 
 	"graphlocality/internal/expt"
 	"graphlocality/internal/perf"
@@ -46,6 +49,60 @@ func cmdBenchPipeline(args []string) error {
 		fmt.Printf("%-28s %6.2fx\n", s.Name, s.Speedup)
 	}
 	fmt.Printf("min speedup %.2fx -> %s\n", report.MinSpeedup(), *out)
+	return nil
+}
+
+// cmdBenchMulticore sweeps the multicore simulation pipeline and the boba
+// parallel ordering across worker counts, timing each under a matching
+// GOMAXPROCS and cross-checking every row against the scalar reference, so
+// the report is simultaneously a scaling measurement and a bit-exactness
+// proof. The committed BENCH_multicore.json is the baseline `bench diff`
+// gates scaling erosion against on multicore runners.
+func cmdBenchMulticore(args []string) error {
+	fs := flag.NewFlagSet("bench multicore", flag.ExitOnError)
+	sizeName := fs.String("size", "standard", "dataset scale: tiny or standard")
+	out := fs.String("out", "BENCH_multicore.json", "output JSON path")
+	repeats := fs.Int("repeats", 3, "timing repetitions per benchmark (minimum is reported)")
+	workersFlag := fs.String("workers", "", "comma-separated worker counts (default: 1,2 then doubling to NumCPU)")
+	fs.Parse(args)
+	size := expt.Standard
+	if *sizeName == "tiny" {
+		size = expt.Tiny
+	}
+	counts := perf.DefaultWorkerCounts()
+	if *workersFlag != "" {
+		counts = counts[:0]
+		for _, f := range strings.Split(*workersFlag, ",") {
+			w, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || w < 1 {
+				return usagef("bench multicore: bad -workers entry %q", f)
+			}
+			counts = append(counts, w)
+		}
+	}
+
+	var workloads []perf.Workload
+	for _, d := range expt.Suite(size) {
+		workloads = append(workloads, perf.Workload{Name: d.Name, Graph: d.Build()})
+	}
+	report := perf.Report{Schema: perf.SchemaVersion, Suite: *sizeName, GoMaxProcs: runtime.NumCPU()}
+	opts := perf.Options{
+		Repeats: *repeats,
+		Suite:   *sizeName,
+		Progress: func(name string, ns float64) {
+			fmt.Fprintf(os.Stderr, "localitylab: bench %-36s %12.0f ns/op\n", name, ns)
+		},
+	}
+	if err := perf.Multicore(&report, workloads, counts, opts); err != nil {
+		return err
+	}
+	if err := perf.WriteFile(*out, report); err != nil {
+		return err
+	}
+	for _, s := range report.Speedups {
+		fmt.Printf("%-36s %6.2fx\n", s.Name, s.Speedup)
+	}
+	fmt.Printf("min speedup %.2fx (NumCPU %d) -> %s\n", report.MinSpeedup(), runtime.NumCPU(), *out)
 	return nil
 }
 

@@ -1,0 +1,376 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"graphlocality/internal/cachesim"
+	"graphlocality/internal/graph"
+	"graphlocality/internal/runctl"
+	"graphlocality/internal/trace"
+)
+
+// The multicore simulation pipeline. A cache simulation is inherently
+// serial — every access's outcome depends on the state left by all earlier
+// accesses, and DRRIP/BRRIP carry global policy state — so the pipeline
+// never splits the cache. Instead it splits everything around the cache:
+//
+//	producers (parallel)      chunked trace generation + transpose
+//	cache consumer (serial)   AccessBatch in exact stream order, ECS, bytes
+//	TLB stage (concurrent)    independent state, fed the same ordered stream
+//	attribution (parallel)    per-worker private count arrays, exact merge
+//
+// Producers cut [0, |V|) into contiguous chunks and stream each chunk's
+// blocks over a per-chunk channel; the consumer drains chunks in index
+// order, so by the concatenation property of RunRangeBatched /
+// RunRangeColumns the cache sees exactly the serial stream — bit-exact for
+// every policy, direction, prefetch and snapshot setting. The TLB has no
+// state in common with the cache, so it can run a block behind on its own
+// goroutine; per-vertex attribution sums uint32 counters, so per-worker
+// private arrays merged in worker order reproduce the serial counts
+// exactly. The differential suite (TestMulticore* in differential_test.go)
+// pins all of this to SimulateSpMVReference.
+//
+// Emulated Threads > 1 (the paper's interleaved stream) has a single
+// generator by construction; the pipeline still gains by overlapping
+// generation, cache, TLB and attribution.
+
+// mcChunksPerWorker over-decomposes the vertex range so a producer that
+// lands on a cheap chunk moves on instead of idling (same rationale as
+// spmv.ChunksPerThread).
+const mcChunksPerWorker = 4
+
+// mcBlock is one block in flight through the pipeline.
+type mcBlock struct {
+	addrs  []uint64
+	writes []bool
+	// recs/hits are populated only when per-vertex attribution runs: the
+	// producer keeps the Access records (for Vertex/Dest/Kind) and the
+	// cache stage fills the per-access hit results.
+	recs      []trace.Access
+	hits      []bool
+	n         int
+	edgeReads int
+}
+
+// attrPart is one attribution worker's private counters; summing the parts
+// in worker order reproduces the serial attribution arrays exactly
+// (integer addition is order-independent).
+type attrPart struct {
+	va, vm, da, dm []uint32
+}
+
+// simulateMulticore is the Workers > 1 fast path behind SimulateSpMV. It
+// produces a SimResult bit-identical to simulateBatched (and therefore to
+// SimulateSpMVReference) for every option combination; see the pipeline
+// model above. Cancellation granularity is one block at the cache stage,
+// like the batched path.
+func simulateMulticore(g *graph.Graph, opts SimOptions) SimResult {
+	if opts.Threads < 1 {
+		opts.Threads = 1
+	}
+	if opts.Interval < 1 {
+		opts.Interval = 1024
+	}
+	if opts.Cache == (cachesim.Config{}) {
+		opts.Cache = cachesim.ScaledL3(g.NumVertices(), cachesim.DefaultVertexCacheFraction)
+	}
+	workers := opts.Workers
+	if mp := runtime.GOMAXPROCS(0); workers > mp {
+		workers = mp
+	}
+	if workers < 2 {
+		// Serial fall-through for direct callers; SimulateSpMV already
+		// routes 1-core runs to the batched path.
+		return simulateBatched(g, opts)
+	}
+
+	cache := cachesim.New(opts.Cache)
+	var tlb *cachesim.TLB
+	if opts.TLB != nil {
+		tlb = cachesim.NewTLB(*opts.TLB)
+	}
+	layout := trace.NewLayout(g)
+	nv := g.NumVertices()
+	perVertex := opts.PerVertex
+
+	res := SimResult{}
+	if perVertex {
+		res.VertexAccesses = make([]uint32, nv)
+		res.VertexMisses = make([]uint32, nv)
+		res.DestAccesses = make([]uint32, nv)
+		res.DestMisses = make([]uint32, nv)
+	}
+
+	randKind := trace.KindVertexRead
+	if opts.Direction == trace.Push {
+		randKind = trace.KindVertexWrite
+	}
+
+	// Chunk plan: the sequential stream is a concatenation of per-range
+	// sub-streams, so edge-balanced contiguous ranges drained in order
+	// reproduce it exactly. The emulated-parallel stream interleaves
+	// partitions and cannot be chunked; it runs as one producer.
+	var ranges []graph.Range
+	if opts.Threads == 1 {
+		n := workers * mcChunksPerWorker
+		if opts.Direction == trace.Pull {
+			ranges = g.PartitionEdgeBalancedIn(n)
+		} else {
+			ranges = g.PartitionEdgeBalancedOut(n)
+		}
+	} else {
+		ranges = []graph.Range{{Lo: 0, Hi: nv}}
+	}
+	nChunks := len(ranges)
+
+	pool := sync.Pool{New: func() any {
+		b := &mcBlock{
+			addrs:  make([]uint64, simBatchSize),
+			writes: make([]bool, simBatchSize),
+		}
+		if perVertex {
+			b.recs = make([]trace.Access, simBatchSize)
+			b.hits = make([]bool, simBatchSize)
+		}
+		return b
+	}}
+
+	chans := make([]chan *mcBlock, nChunks)
+	for i := range chans {
+		chans[i] = make(chan *mcBlock, 2)
+	}
+	// stop aborts producers on cancellation; closed at most once, by the
+	// consumer.
+	stop := make(chan struct{})
+	send := func(ch chan *mcBlock, b *mcBlock) bool {
+		select {
+		case ch <- b:
+			return true
+		case <-stop:
+			return false
+		}
+	}
+
+	// produceChunk streams ranges[i]'s sub-stream into chans[i], copying
+	// each generator block into a pooled mcBlock and doing the transpose /
+	// edge-read counting off the consumer's critical path. The channel is
+	// closed even on early stop so the consumer's drain always terminates
+	// for chunks that started.
+	needRecs := perVertex || opts.Threads > 1
+	produceChunk := func(i int) bool {
+		ch := chans[i]
+		defer close(ch)
+		if needRecs {
+			sink := func(block []trace.Access) bool {
+				b := pool.Get().(*mcBlock)
+				b.n = len(block)
+				if perVertex {
+					copy(b.recs, block)
+				}
+				edgeReads := 0
+				for j, a := range block {
+					b.addrs[j] = a.Addr
+					b.writes[j] = a.Write
+					if a.Kind == trace.KindEdges {
+						edgeReads++
+					}
+				}
+				b.edgeReads = edgeReads
+				return send(ch, b)
+			}
+			if opts.Threads > 1 {
+				return trace.RunParallelBatched(g, layout, opts.Direction, opts.Threads, opts.Interval, simBatchSize, sink)
+			}
+			return trace.RunRangeBatched(g, layout, opts.Direction, ranges[i], simBatchSize, sink)
+		}
+		return trace.RunRangeColumns(g, layout, opts.Direction, ranges[i], simBatchSize,
+			func(addrs []uint64, writes []bool, edgeReads int) bool {
+				b := pool.Get().(*mcBlock)
+				b.n = copy(b.addrs, addrs)
+				copy(b.writes, writes)
+				b.edgeReads = edgeReads
+				return send(ch, b)
+			})
+	}
+
+	// Producers claim chunk indices from an atomic cursor; a chunk is
+	// always claimed before any later chunk, so the producer of the chunk
+	// the consumer is draining can only be blocked on that same chunk's
+	// channel — the pipeline cannot deadlock.
+	prodWorkers := workers
+	if prodWorkers > nChunks {
+		prodWorkers = nChunks
+	}
+	var nextChunk atomic.Int64
+	var prodWG sync.WaitGroup
+	prodWG.Add(prodWorkers)
+	for p := 0; p < prodWorkers; p++ {
+		go func() {
+			defer prodWG.Done()
+			for {
+				i := int(nextChunk.Add(1)) - 1
+				if i >= nChunks {
+					return
+				}
+				if !produceChunk(i) {
+					return
+				}
+			}
+		}()
+	}
+
+	// Downstream stages. Routing after the cache stage is exclusive:
+	// consumer → TLB → attribution → pool, skipping absent stages.
+	var tlbCh, attrCh chan *mcBlock
+	if tlb != nil {
+		tlbCh = make(chan *mcBlock, workers)
+	}
+	if perVertex {
+		attrCh = make(chan *mcBlock, workers)
+	}
+	forward := func(b *mcBlock) {
+		switch {
+		case tlbCh != nil:
+			tlbCh <- b
+		case attrCh != nil:
+			attrCh <- b
+		default:
+			pool.Put(b)
+		}
+	}
+
+	var tlbWG sync.WaitGroup
+	if tlbCh != nil {
+		tlbWG.Add(1)
+		go func() {
+			defer tlbWG.Done()
+			for b := range tlbCh {
+				// The TLB's AccessBatch is cut-invariant, so one call per
+				// block yields the same final Stats as the batched path's
+				// snapshot-split calls.
+				tlb.AccessBatch(b.addrs[:b.n], nil)
+				if attrCh != nil {
+					attrCh <- b
+				} else {
+					pool.Put(b)
+				}
+			}
+		}()
+	}
+
+	var attrWG sync.WaitGroup
+	var attrParts []attrPart
+	if attrCh != nil {
+		attrParts = make([]attrPart, workers)
+		for w := range attrParts {
+			attrParts[w] = attrPart{
+				va: make([]uint32, nv), vm: make([]uint32, nv),
+				da: make([]uint32, nv), dm: make([]uint32, nv),
+			}
+			attrWG.Add(1)
+			go func(p *attrPart) {
+				defer attrWG.Done()
+				for b := range attrCh {
+					recs := b.recs[:b.n]
+					for j := range recs {
+						a := &recs[j]
+						if a.Kind == randKind {
+							p.va[a.Vertex]++
+							p.da[a.Dest]++
+							if !b.hits[j] {
+								p.vm[a.Vertex]++
+								p.dm[a.Dest]++
+							}
+						}
+					}
+					pool.Put(b)
+				}
+			}(&attrParts[w])
+		}
+	}
+
+	// Cache consumer — this goroutine. Identical arithmetic to
+	// simulateBatched: blocks split at exact ECS snapshot points, one
+	// context check per block.
+	totalLines := float64(opts.Cache.Sets * opts.Cache.Ways)
+	var ecsSum float64
+	var accesses, bytesTouched uint64
+	poll := runctl.NewPoller(opts.Ctx, 1)
+	snapshot := func() {
+		var dataLines int
+		cache.Snapshot(func(line uint64) {
+			if layout.InOldData(line) {
+				dataLines++
+			}
+		})
+		ecsSum += 100 * float64(dataLines) / totalLines
+		res.Snapshots++
+	}
+
+	canceled := false
+consume:
+	for i := 0; i < nChunks; i++ {
+		for b := range chans[i] {
+			off := 0
+			for off < b.n {
+				sub := b.n - off
+				if opts.SnapshotEvery > 0 {
+					every := uint64(opts.SnapshotEvery)
+					if untilSnap := (accesses/every+1)*every - accesses; untilSnap < uint64(sub) {
+						sub = int(untilSnap)
+					}
+				}
+				var hs []bool
+				if perVertex {
+					hs = b.hits[off : off+sub]
+				}
+				cache.AccessBatch(b.addrs[off:off+sub], b.writes[off:off+sub], hs)
+				accesses += uint64(sub)
+				if opts.SnapshotEvery > 0 && accesses%uint64(opts.SnapshotEvery) == 0 {
+					snapshot()
+				}
+				off += sub
+			}
+			bytesTouched += uint64(trace.VertexDataBytes*b.n - (trace.VertexDataBytes-trace.EdgeBytes)*b.edgeReads)
+			forward(b)
+			if poll.Check() != nil {
+				canceled = true
+				break consume
+			}
+		}
+	}
+	if canceled {
+		close(stop)
+	}
+	prodWG.Wait()
+	if tlbCh != nil {
+		close(tlbCh)
+		tlbWG.Wait()
+	}
+	if attrCh != nil {
+		close(attrCh)
+		attrWG.Wait()
+		for w := range attrParts {
+			p := &attrParts[w]
+			for v := range res.VertexAccesses {
+				res.VertexAccesses[v] += p.va[v]
+				res.VertexMisses[v] += p.vm[v]
+				res.DestAccesses[v] += p.da[v]
+				res.DestMisses[v] += p.dm[v]
+			}
+		}
+	}
+
+	res.Cache = cache.Stats()
+	res.BytesTouched = bytesTouched
+	if tlb != nil {
+		res.TLB = tlb.Stats()
+	}
+	if res.Snapshots > 0 {
+		res.ECS = ecsSum / float64(res.Snapshots)
+	}
+	res.Canceled = canceled
+	return res
+}

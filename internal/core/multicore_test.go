@@ -1,0 +1,183 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"graphlocality/internal/cachesim"
+	"graphlocality/internal/trace"
+)
+
+// The multicore differential wall mirrors differential_test.go for the
+// Workers > 1 pipeline: across the policy × direction × prefetch × graph
+// grid (plus per-vertex attribution, mid-block ECS snapshots, the TLB,
+// emulated threads and the kitchen sink), SimulateSpMV with Workers set
+// must produce a SimResult deeply equal to SimulateSpMVReference. Run under
+// -race this also proves the producer/consumer/attribution plumbing free of
+// data races. GOMAXPROCS is raised per test so the pipeline actually
+// engages on single-core CI runners (the dispatcher falls back to the
+// serial batched path at GOMAXPROCS=1).
+
+// mcWorkers is the worker count the wall drives the pipeline with; prime
+// enough to make chunk counts and attribution fan-out uneven.
+const mcWorkers = 4
+
+func withGOMAXPROCS(t *testing.T, n int) {
+	t.Helper()
+	prev := runtime.GOMAXPROCS(n)
+	t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+}
+
+func assertMulticoreSame(t *testing.T, name string, gname string, opts SimOptions) {
+	t.Helper()
+	g := diffGraphs()[gname]
+	ref := SimulateSpMVReference(g, opts)
+	opts.Workers = mcWorkers
+	got := SimulateSpMV(g, opts)
+	if !reflect.DeepEqual(ref, got) {
+		t.Errorf("%s: multicore result diverges from scalar reference\nscalar:    %+v\nmulticore: %+v", name, ref, got)
+	}
+}
+
+// TestMulticoreMatchesScalarGrid sweeps policy × direction × prefetch ×
+// graph through the pipeline.
+func TestMulticoreMatchesScalarGrid(t *testing.T) {
+	withGOMAXPROCS(t, mcWorkers)
+	dirs := []trace.Direction{trace.Pull, trace.Push, trace.PushRead}
+	policies := []cachesim.Policy{cachesim.LRU, cachesim.SRRIP, cachesim.BRRIP, cachesim.DRRIP}
+	for gname, g := range diffGraphs() {
+		cfg := cachesim.ScaledL3(g.NumVertices(), cachesim.DefaultVertexCacheFraction)
+		for _, dir := range dirs {
+			for _, pol := range policies {
+				for _, prefetch := range []bool{false, true} {
+					c := cfg
+					c.Policy = pol
+					c.NextLinePrefetch = prefetch
+					name := fmt.Sprintf("%s/%s/%s/prefetch=%v/workers=%d", gname, dir, pol, prefetch, mcWorkers)
+					assertMulticoreSame(t, name, gname, SimOptions{Direction: dir, Cache: c})
+				}
+			}
+		}
+	}
+}
+
+// TestMulticoreMatchesScalarPerVertex pins the parallel attribution stage:
+// per-worker private count arrays merged in worker order must reproduce
+// every serial per-vertex count.
+func TestMulticoreMatchesScalarPerVertex(t *testing.T) {
+	withGOMAXPROCS(t, mcWorkers)
+	for gname := range diffGraphs() {
+		for _, dir := range []trace.Direction{trace.Pull, trace.Push} {
+			name := fmt.Sprintf("%s/%s/pervertex", gname, dir)
+			assertMulticoreSame(t, name, gname, SimOptions{Direction: dir, PerVertex: true})
+		}
+	}
+}
+
+// TestMulticoreMatchesScalarSnapshots forces ECS snapshots at prime strides
+// so snapshot points land mid-block and mid-chunk; the consumer must split
+// blocks to scan the cache at exactly the scalar access counts even though
+// blocks arrive from different chunk producers.
+func TestMulticoreMatchesScalarSnapshots(t *testing.T) {
+	withGOMAXPROCS(t, mcWorkers)
+	for _, every := range []int{1, 997, 4096, 5000} {
+		name := fmt.Sprintf("rmat/snapshot=%d", every)
+		assertMulticoreSame(t, name, "rmat", SimOptions{SnapshotEvery: every})
+	}
+}
+
+// TestMulticoreMatchesScalarTLB drives the concurrent TLB stage: its own
+// goroutine, fed the ordered stream a block behind the cache, must land on
+// exactly the serial TLB statistics.
+func TestMulticoreMatchesScalarTLB(t *testing.T) {
+	withGOMAXPROCS(t, mcWorkers)
+	tlb := cachesim.TLBConfig{PageSize: 4096, Entries: 64, Ways: 4}
+	for gname := range diffGraphs() {
+		assertMulticoreSame(t, gname+"/tlb", gname, SimOptions{TLB: &tlb})
+	}
+}
+
+// TestMulticoreMatchesScalarThreads combines the emulated two-phase
+// interleaved stream (a single producer by construction) with the pipeline
+// stages.
+func TestMulticoreMatchesScalarThreads(t *testing.T) {
+	withGOMAXPROCS(t, mcWorkers)
+	for gname := range diffGraphs() {
+		for _, threads := range []int{2, 4} {
+			name := fmt.Sprintf("%s/threads=%d", gname, threads)
+			assertMulticoreSame(t, name, gname, SimOptions{Threads: threads, Interval: 512})
+			assertMulticoreSame(t, name+"/pervertex", gname, SimOptions{Threads: threads, Interval: 512, PerVertex: true})
+		}
+	}
+}
+
+// TestMulticoreMatchesScalarKitchenSink combines every option at once.
+func TestMulticoreMatchesScalarKitchenSink(t *testing.T) {
+	withGOMAXPROCS(t, mcWorkers)
+	g := diffGraphs()["rmat"]
+	cfg := cachesim.ScaledL3(g.NumVertices(), cachesim.DefaultVertexCacheFraction)
+	cfg.NextLinePrefetch = true
+	tlb := cachesim.TLBConfig{PageSize: 4096, Entries: 64, Ways: 4}
+	assertMulticoreSame(t, "kitchen-sink", "rmat", SimOptions{
+		Direction:     trace.Push,
+		Cache:         cfg,
+		TLB:           &tlb,
+		SnapshotEvery: 1009,
+		PerVertex:     true,
+	})
+}
+
+// TestMulticoreWorkerCountInvariance proves the result is a function of the
+// options alone, not of the worker count: any Workers value lands on the
+// identical SimResult (chunk plans differ, the merged stream does not).
+func TestMulticoreWorkerCountInvariance(t *testing.T) {
+	withGOMAXPROCS(t, 8)
+	g := diffGraphs()["web"]
+	base := SimOptions{Direction: trace.Pull, PerVertex: true, SnapshotEvery: 2048}
+	ref := SimulateSpMVReference(g, base)
+	for _, w := range []int{2, 3, 5, 8} {
+		opts := base
+		opts.Workers = w
+		got := SimulateSpMV(g, opts)
+		if !reflect.DeepEqual(ref, got) {
+			t.Errorf("workers=%d diverges from reference", w)
+		}
+	}
+}
+
+// TestMulticoreSerialFallThroughAtOneCore pins the 1-core contract: with
+// GOMAXPROCS=1, Workers > 1 must quietly take the proven serial batched
+// path and still match the reference.
+func TestMulticoreSerialFallThroughAtOneCore(t *testing.T) {
+	withGOMAXPROCS(t, 1)
+	g := diffGraphs()["er"]
+	opts := SimOptions{PerVertex: true}
+	ref := SimulateSpMVReference(g, opts)
+	opts.Workers = 8
+	got := SimulateSpMV(g, opts)
+	if !reflect.DeepEqual(ref, got) {
+		t.Errorf("1-core fall-through diverges from reference")
+	}
+}
+
+// TestMulticoreCancellation kills the context up front: the pipeline must
+// report Canceled, leave partial counters no larger than a full run's, and
+// shut every stage down without leaking goroutines (the -race run and test
+// timeout police the latter).
+func TestMulticoreCancellation(t *testing.T) {
+	withGOMAXPROCS(t, mcWorkers)
+	g := diffGraphs()["rmat"]
+	full := SimulateSpMV(g, SimOptions{Workers: mcWorkers, PerVertex: true})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	got := SimulateSpMV(g, SimOptions{Ctx: ctx, Workers: mcWorkers, PerVertex: true, TLB: &cachesim.TLBConfig{PageSize: 4096, Entries: 64, Ways: 4}})
+	if !got.Canceled {
+		t.Fatalf("pre-canceled context: want Canceled=true")
+	}
+	if got.Cache.Accesses >= full.Cache.Accesses {
+		t.Errorf("canceled run consumed the whole stream: %d >= %d accesses", got.Cache.Accesses, full.Cache.Accesses)
+	}
+}

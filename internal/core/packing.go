@@ -1,0 +1,114 @@
+package core
+
+import (
+	"sync"
+
+	"graphlocality/internal/graph"
+	"graphlocality/internal/trace"
+)
+
+// Packing factor (Faldu et al., "A Closer Look at Lightweight Graph
+// Reordering", arXiv 2001.08448): how densely the hot vertices are packed
+// into the cache lines that hold any of them,
+//
+//	PF = |hot| / (vertsPerLine × #lines containing ≥1 hot vertex)
+//
+// in (0, 1]: 1 means every line that caches hot vertex data carries only
+// hot vertices, so no cache capacity is wasted co-locating cold data with
+// the high-reuse working set; 1/vertsPerLine means hot vertices are
+// maximally scattered, each dragging a full line of cold neighbours into
+// the cache. Skew-aware orderings (HubSort, HubCluster, DBG, boba) exist
+// precisely to raise this number, which makes it the natural structural
+// companion to AID and ECS in the experiment tables.
+//
+// A vertex is hot when its total degree exceeds twice the average degree —
+// the same above-average-total-degree criterion HubSort uses to pick hubs
+// (total degree averages 2|E|/|V| = 2×AverageDegree).
+
+// PackingVertsPerLine is the number of vertex-data elements per cache line
+// under the paper's layout (64-byte lines, 8-byte elements).
+const PackingVertsPerLine = 64 / trace.VertexDataBytes
+
+// PackingFactor computes the packing factor of the graph's current vertex
+// numbering. It returns 0 for an empty graph or a graph with no hot
+// vertices (e.g. degree-regular graphs, where there is nothing to pack).
+func PackingFactor(g *graph.Graph) float64 {
+	deg := g.TotalDegrees()
+	hot := 2 * g.AverageDegree() // total degree averages 2|E|/|V|
+	return packingRatio(packingScan(deg, hot, 0, packingLines(g.NumVertices())))
+}
+
+// PackingFactorParallel is PackingFactor sharded over cache-line ranges:
+// shard boundaries are line-aligned, so no line is split across shards and
+// the integer hot/line counters merge to the serial result bit-for-bit at
+// any shard count. shards <= 1 runs the serial scan.
+func PackingFactorParallel(g *graph.Graph, shards int) float64 {
+	nLines := packingLines(g.NumVertices())
+	if shards <= 1 || nLines == 0 {
+		return PackingFactor(g)
+	}
+	deg := g.TotalDegrees()
+	hot := 2 * g.AverageDegree()
+	ranges := ShardRanges(nLines, shards)
+	parts := make([]packingCount, len(ranges))
+	var wg sync.WaitGroup
+	for i, r := range ranges {
+		wg.Add(1)
+		go func(i int, r graph.Range) {
+			defer wg.Done()
+			parts[i] = packingScan(deg, hot, r.Lo, r.Hi)
+		}(i, r)
+	}
+	wg.Wait()
+	var total packingCount
+	for _, p := range parts {
+		total.hot += p.hot
+		total.lines += p.lines
+	}
+	return packingRatio(total)
+}
+
+// packingCount aggregates one line range: hot vertices seen, and lines
+// holding at least one of them.
+type packingCount struct {
+	hot   uint64
+	lines uint64
+}
+
+// packingLines is the number of cache lines spanned by n vertex-data
+// elements.
+func packingLines(n uint32) uint32 {
+	return (n + PackingVertsPerLine - 1) / PackingVertsPerLine
+}
+
+// packingScan counts hot vertices and hot-occupied lines over the line
+// range [loLine, hiLine). deg is read-only, so shards share it safely.
+func packingScan(deg []uint32, hot float64, loLine, hiLine uint32) packingCount {
+	n := uint32(len(deg))
+	var c packingCount
+	for line := loLine; line < hiLine; line++ {
+		lo := line * PackingVertsPerLine
+		hi := lo + PackingVertsPerLine
+		if hi > n {
+			hi = n
+		}
+		inLine := uint64(0)
+		for v := lo; v < hi; v++ {
+			if float64(deg[v]) > hot {
+				inLine++
+			}
+		}
+		if inLine > 0 {
+			c.hot += inLine
+			c.lines++
+		}
+	}
+	return c
+}
+
+func packingRatio(c packingCount) float64 {
+	if c.lines == 0 {
+		return 0
+	}
+	return float64(c.hot) / float64(c.lines*PackingVertsPerLine)
+}

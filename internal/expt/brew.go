@@ -56,6 +56,10 @@ type BrewRow struct {
 	// MeanAID is the mean average in-neighbour ID distance of the
 	// relabeled graph (lower = neighbours closer in the ID space).
 	MeanAID float64
+	// Packing is the packing factor of the relabeled graph (Faldu et al.,
+	// arXiv 2001.08448): the fraction of hot-vertex cache-line capacity
+	// actually holding hot vertices (higher = denser hub packing).
+	Packing float64
 	// ECSPct is the average effective cache size during the pull
 	// traversal (Table V's metric).
 	ECSPct float64
@@ -117,6 +121,7 @@ func BrewExperiment(s *Session, datasets []Dataset) []BrewRow {
 			Algorithm:   c.alg.Name(),
 			Class:       c.class,
 			MeanAID:     core.MeanAID(g),
+			Packing:     core.PackingFactorParallel(g, s.analysisShards()),
 			ECSPct:      sim.ECS,
 			MissRatePct: 100 * sim.Cache.MissRate(),
 		}
@@ -154,10 +159,10 @@ func missRateByDegreeSplit(sim core.SimResult, inDeg []uint32) (lowPct, highPct 
 func RenderBrew(rows []BrewRow) string {
 	var b strings.Builder
 	w := newTab(&b)
-	fmt.Fprintln(w, "Dataset\tRA\tClass\tMean AID\tECS %\tMiss %\tMiss % (deg<8)\tMiss % (deg>=8)")
+	fmt.Fprintln(w, "Dataset\tRA\tClass\tMean AID\tPacking\tECS %\tMiss %\tMiss % (deg<8)\tMiss % (deg>=8)")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%s\t%s\t%s\t%.1f\t%.1f\t%.2f\t%.2f\t%.2f\n",
-			r.Dataset, r.Algorithm, r.Class, r.MeanAID, r.ECSPct,
+		fmt.Fprintf(w, "%s\t%s\t%s\t%.1f\t%.3f\t%.1f\t%.2f\t%.2f\t%.2f\n",
+			r.Dataset, r.Algorithm, r.Class, r.MeanAID, r.Packing, r.ECSPct,
 			r.MissRatePct, r.LowDegMissPct, r.HighDegMissPct)
 	}
 	w.Flush()

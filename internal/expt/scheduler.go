@@ -98,17 +98,25 @@ func grid(datasets []Dataset, algs []reorder.Algorithm) []gridCell {
 	return cells
 }
 
-// parallelism returns the scheduler's worker budget (at least 1). On a
-// single-CPU machine the budget is forced to 1: the cells are CPU-bound, so
-// extra goroutines only interleave on the one P and the session pays the
-// scheduler's two-phase overhead (workers, channel, single-writer drain)
-// for no concurrency. The clamp lives here rather than in mapIndexed so
-// tests can still drive mapIndexed's parallel machinery directly.
+// parallelism returns the scheduler's effective worker budget (at least
+// 1), re-derived from GOMAXPROCS on every call — each grid sees the
+// machine as it is *now*, so a session constructed under GOMAXPROCS=1
+// fans out once the runtime is widened, and a widened session degrades
+// back to serial when it shrinks. The budget is capped at GOMAXPROCS: the
+// cells are CPU-bound, so goroutines beyond the core count only
+// interleave on the existing Ps and the session pays the scheduler's
+// two-phase overhead (workers, channel, single-writer drain) for no added
+// concurrency. The clamp lives here rather than in mapIndexed so tests
+// can still drive mapIndexed's parallel machinery directly.
 func (s *Session) parallelism() int {
-	if s.Parallel < 1 || runtime.GOMAXPROCS(0) == 1 {
+	if s.Parallel < 1 {
 		return 1
 	}
-	return s.Parallel
+	p := s.Parallel
+	if maxp := runtime.GOMAXPROCS(0); p > maxp {
+		p = maxp
+	}
+	return p
 }
 
 // analysisShards returns the fan-out for sharded per-cell analytics (AID

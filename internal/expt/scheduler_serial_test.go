@@ -3,6 +3,7 @@ package expt
 import (
 	"runtime"
 	"testing"
+	"time"
 )
 
 // TestMapIndexedSerialFallThrough pins the serial fall-through: whenever the
@@ -45,9 +46,10 @@ func TestMapIndexedSerialFallThrough(t *testing.T) {
 	}
 }
 
-// TestParallelismClampsOnSingleCPU pins the GOMAXPROCS=1 clamp: a parallel
+// TestParallelismClampsOnSingleCPU pins the GOMAXPROCS cap: a parallel
 // session on a single-CPU machine degrades to the serial path instead of
-// paying scheduler overhead to interleave CPU-bound cells on one P.
+// paying scheduler overhead to interleave CPU-bound cells on one P, and a
+// budget above the core count is trimmed to it.
 func TestParallelismClampsOnSingleCPU(t *testing.T) {
 	old := runtime.GOMAXPROCS(0)
 	defer runtime.GOMAXPROCS(old)
@@ -58,11 +60,51 @@ func TestParallelismClampsOnSingleCPU(t *testing.T) {
 		t.Errorf("GOMAXPROCS=1: parallelism() = %d, want 1", got)
 	}
 	runtime.GOMAXPROCS(4)
-	if got := s.parallelism(); got != 8 {
-		t.Errorf("GOMAXPROCS=4: parallelism() = %d, want 8", got)
+	if got := s.parallelism(); got != 4 {
+		t.Errorf("GOMAXPROCS=4: parallelism() = %d, want 4 (budget capped at cores)", got)
+	}
+	s.Parallel = 3
+	if got := s.parallelism(); got != 3 {
+		t.Errorf("budget below cores: parallelism() = %d, want 3", got)
 	}
 	s.Parallel = 0
 	if got := s.parallelism(); got != 1 {
 		t.Errorf("unset budget: parallelism() = %d, want 1", got)
+	}
+}
+
+// TestSchedulerFollowsRuntimeGOMAXPROCS is the end-to-end regression test
+// for the per-grid re-check: a session constructed while GOMAXPROCS is 1
+// must not latch the serial fall-through — after the runtime is widened,
+// the *same* session's next grid fans out. Two cells rendezvous over an
+// unbuffered channel, which completes only when two workers hold a cell at
+// the same instant; the serial path would run them one after the other and
+// time out.
+func TestSchedulerFollowsRuntimeGOMAXPROCS(t *testing.T) {
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+
+	runtime.GOMAXPROCS(1)
+	s := NewSession()
+	s.Parallel = 8
+	if got := s.parallelism(); got != 1 {
+		t.Fatalf("session at GOMAXPROCS=1: parallelism() = %d, want 1", got)
+	}
+
+	runtime.GOMAXPROCS(4)
+	rendezvous := make(chan int)
+	out := mapCells(s, 2, func(i int) int {
+		select {
+		case rendezvous <- i:
+		case <-rendezvous:
+		case <-time.After(10 * time.Second):
+			t.Errorf("cell %d never overlapped a peer: grid still serial after GOMAXPROCS raise", i)
+		}
+		return i
+	})
+	for i, v := range out {
+		if v != i {
+			t.Errorf("out[%d] = %d, want %d", i, v, i)
+		}
 	}
 }

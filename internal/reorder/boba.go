@@ -1,0 +1,146 @@
+package reorder
+
+import (
+	"runtime"
+	"strconv"
+	"sync"
+
+	"graphlocality/internal/graph"
+)
+
+// Boba is the sort-free *parallel* lightweight reordering (after BOBA,
+// arXiv 2306.10410): vertices are binned into the same power-of-two degree
+// classes as DBG, but the bucketing runs as a two-pass parallel counting
+// sort — a per-worker histogram pass, one serial prefix over
+// (bucket, worker) cells, and a parallel scatter pass. Because workers own
+// contiguous ascending vertex ranges and the prefix lays cells out
+// bucket-major (highest class first) then worker-minor, every vertex lands
+// at the position the serial stable bucketing gives it: the output is
+// bit-identical to DBG at every worker count, which is the intra-bucket
+// tie-break contract (original ID order) the differential tests pin.
+//
+// Spec grammar: boba:workers=N,seed=S. workers=0 (the default) sizes the
+// pool from GOMAXPROCS at run time, so a runtime GOMAXPROCS change is
+// picked up per call; seed is accepted for sweep-grid uniformity and
+// ignored — the ordering is deterministic by construction.
+type Boba struct {
+	// Workers is the worker-pool size; 0 means GOMAXPROCS at run time.
+	Workers int
+}
+
+func init() {
+	MustRegister(Registration{
+		Name:        "boba",
+		Description: "parallel sort-free degree bucketing (BOBA): DBG's classes via two counting passes, bit-equal at any worker count",
+		Class:       ClassLight,
+		Accepts:     []string{OptSeed},
+		New:         func(*Options) Algorithm { return Wrap(Boba{}) },
+		Composable:  composeBoba,
+	})
+}
+
+// composeBoba maps the spec's structured parameters onto a Boba with typed
+// value errors, mirroring composeBrew.
+func composeBoba(_ *Options, spec Spec) (Algorithm, error) {
+	b := Boba{}
+	for _, p := range spec.Params {
+		if genericSpecKeys[p.Key] {
+			continue // already validated as generic options
+		}
+		switch p.Key {
+		case "workers":
+			v, err := strconv.Atoi(p.Value)
+			if err != nil || v < 0 {
+				return nil, &OptionError{Alg: "boba", Option: "workers", Value: p.Value,
+					Reason: "want a non-negative integer (0 = GOMAXPROCS)"}
+			}
+			b.Workers = v
+		default:
+			return nil, &OptionError{Alg: "boba", Option: p.Key,
+				Reason: "accepts: seed, workers"}
+		}
+	}
+	return Wrap(b), nil
+}
+
+// bobaGroups bounds the degree-class index: group() of a uint32 degree is
+// 0 (degree 0) through 32.
+const bobaGroups = 33
+
+// bobaGroup is DBG's power-of-two degree class, kept in lockstep with
+// DBG.Relabel's group closure: 0 for degree 0, else floor(log2(d))+1.
+func bobaGroup(d uint32) int {
+	gid := 0
+	for d > 0 {
+		d >>= 1
+		gid++
+	}
+	return gid
+}
+
+// Name implements ContextFree.
+func (Boba) Name() string { return "BOBA" }
+
+// Relabel implements ContextFree.
+func (b Boba) Relabel(g *graph.Graph) graph.Permutation {
+	n := int(g.NumVertices())
+	deg := g.TotalDegrees()
+	w := b.Workers
+	if w < 1 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+
+	// Pass 1 (parallel): per-worker degree-class histograms over contiguous
+	// ascending vertex ranges.
+	counts := make([][bobaGroups]uint32, w)
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for wk := 0; wk < w; wk++ {
+		go func(wk int) {
+			defer wg.Done()
+			lo, hi := n*wk/w, n*(wk+1)/w
+			c := &counts[wk]
+			for v := lo; v < hi; v++ {
+				c[bobaGroup(deg[v])]++
+			}
+		}(wk)
+	}
+	wg.Wait()
+
+	// Serial prefix over (bucket, worker) cells, buckets from the highest
+	// degree class down (DBG's layout), workers in ascending order within a
+	// bucket (= ascending original ID, the stable tie-break).
+	offsets := make([][bobaGroups]uint32, w)
+	pos := uint32(0)
+	for gr := bobaGroups - 1; gr >= 0; gr-- {
+		for wk := 0; wk < w; wk++ {
+			offsets[wk][gr] = pos
+			pos += counts[wk][gr]
+		}
+	}
+
+	// Pass 2 (parallel): scatter each worker's vertices into its
+	// pre-assigned cells, preserving ascending ID order within each cell.
+	order := make([]uint32, n)
+	wg.Add(w)
+	for wk := 0; wk < w; wk++ {
+		go func(wk int) {
+			defer wg.Done()
+			lo, hi := n*wk/w, n*(wk+1)/w
+			off := offsets[wk] // private copy to advance
+			for v := lo; v < hi; v++ {
+				gr := bobaGroup(deg[v])
+				order[off[gr]] = uint32(v)
+				off[gr]++
+			}
+		}(wk)
+	}
+	wg.Wait()
+	return orderToPerm(order)
+}

@@ -1,7 +1,10 @@
 package reorder_test
 
 import (
+	"context"
+	"reflect"
 	"sort"
+	"sync"
 	"testing"
 
 	"graphlocality/internal/core"
@@ -94,6 +97,50 @@ func TestReorderProperties(t *testing.T) {
 				}
 				if !equalSeq(degreeSeq(g.InOffsets()), degreeSeq(rg.InOffsets())) {
 					t.Errorf("%s: in-degree multiset changed under %s", gname, name)
+				}
+			}
+		})
+	}
+}
+
+// TestReorderDeterminism runs every registered algorithm (constructed
+// through the spec grammar, so Composable factories are covered too) three
+// times concurrently on the same graph and requires bit-identical
+// permutations. This is the registry-wide determinism property new
+// algorithms inherit automatically: output must be a function of the graph
+// and options alone — never of scheduling — which under -race also proves
+// that internally-parallel algorithms (boba, brew's sub-runs) share no
+// unsynchronized state across instances.
+func TestReorderDeterminism(t *testing.T) {
+	graphs := propertyGraphs()
+	for _, name := range reorder.List() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			for gname, g := range graphs {
+				const instances = 3
+				perms := make([]graph.Permutation, instances)
+				errs := make([]error, instances)
+				var wg sync.WaitGroup
+				for i := 0; i < instances; i++ {
+					alg, err := reorder.NewFromSpec(name)
+					if err != nil {
+						t.Fatalf("NewFromSpec(%q): %v", name, err)
+					}
+					wg.Add(1)
+					go func(i int, alg reorder.Algorithm) {
+						defer wg.Done()
+						perms[i], errs[i] = alg.Reorder(context.Background(), g)
+					}(i, alg)
+				}
+				wg.Wait()
+				for i := 0; i < instances; i++ {
+					if errs[i] != nil {
+						t.Fatalf("%s: instance %d failed: %v", gname, i, errs[i])
+					}
+					if !reflect.DeepEqual(perms[0], perms[i]) {
+						t.Fatalf("%s: instance %d produced a different permutation", gname, i)
+					}
 				}
 			}
 		})

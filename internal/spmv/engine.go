@@ -72,21 +72,36 @@ func blockEnd(lo, hi uint32) uint32 {
 	return end
 }
 
-// New builds an engine with the given worker count (0 = GOMAXPROCS).
+// New builds an engine with the given worker count (0 = GOMAXPROCS,
+// resolved per traversal — see Threads). The chunk granularity is fixed at
+// construction from the worker count in effect then; work stealing makes
+// any later worker count correct over any chunk list, the partitioning is
+// only a balance hint.
 func New(g *graph.Graph, threads int) *Engine {
-	if threads < 1 {
-		threads = runtime.GOMAXPROCS(0)
+	hint := threads
+	if hint < 1 {
+		hint = runtime.GOMAXPROCS(0)
 	}
 	return &Engine{
 		g:          g,
 		threads:    threads,
-		pullChunks: g.PartitionEdgeBalancedIn(threads * ChunksPerThread),
-		pushChunks: g.PartitionEdgeBalancedOut(threads * ChunksPerThread),
+		pullChunks: g.PartitionEdgeBalancedIn(hint * ChunksPerThread),
+		pushChunks: g.PartitionEdgeBalancedOut(hint * ChunksPerThread),
 	}
 }
 
-// Threads returns the configured worker count.
-func (e *Engine) Threads() int { return e.threads }
+// Threads returns the worker count the next traversal will use: the
+// configured count, or — when the engine was built with 0 — GOMAXPROCS at
+// call time, so a runtime GOMAXPROCS change is picked up per traversal
+// rather than latched at construction.
+func (e *Engine) Threads() int { return e.workers() }
+
+func (e *Engine) workers() int {
+	if e.threads > 0 {
+		return e.threads
+	}
+	return runtime.GOMAXPROCS(0)
+}
 
 // Pull performs dst[v] = Σ src[u] over v's in-neighbours u (Algorithm 1,
 // pull direction over the CSC). dst and src must have |V| elements.
@@ -191,7 +206,7 @@ func (e *Engine) PushContext(ctx context.Context, src, dst []float64) (Stats, er
 // reports cancellation the worker stops claiming chunks; the first error
 // is returned alongside the (partial) stats.
 func (e *Engine) run(ctx context.Context, chunks []graph.Range, fn func(graph.Range, *runctl.Poller) error) (Stats, error) {
-	nw := e.threads
+	nw := e.workers()
 	// Per-owner cursors into the chunk list.
 	type queue struct {
 		next int64

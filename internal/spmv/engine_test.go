@@ -2,6 +2,7 @@ package spmv
 
 import (
 	"math"
+	"runtime"
 	"testing"
 	"testing/quick"
 
@@ -95,6 +96,35 @@ func TestEngineDefaultThreads(t *testing.T) {
 	e := New(g, 0)
 	if e.Threads() < 1 {
 		t.Error("default threads not set")
+	}
+}
+
+// TestEngineThreadsFollowGOMAXPROCS pins the threads=0 contract: the
+// worker count is resolved per traversal, so an engine built while
+// GOMAXPROCS was 1 drives all cores once GOMAXPROCS rises (the serving
+// daemon resizes pools at runtime), and the result stays correct over the
+// construction-time chunk partitioning.
+func TestEngineThreadsFollowGOMAXPROCS(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	runtime.GOMAXPROCS(1)
+	g := gen.RMAT(gen.DefaultRMAT(10, 8, 5))
+	e := New(g, 0)
+	if got := e.Threads(); got != 1 {
+		t.Fatalf("Threads() at GOMAXPROCS=1 = %d, want 1", got)
+	}
+	runtime.GOMAXPROCS(4)
+	if got := e.Threads(); got != 4 {
+		t.Fatalf("Threads() after GOMAXPROCS(4) = %d, want 4", got)
+	}
+	src, dst := vectors(g.NumVertices())
+	want := make([]float64, g.NumVertices())
+	SequentialPull(g, src, want)
+	st := e.Pull(src, dst)
+	if st.Threads != 4 {
+		t.Errorf("traversal used %d workers, want 4", st.Threads)
+	}
+	if !almostEqual(dst, want) {
+		t.Fatal("pull after GOMAXPROCS change differs from sequential reference")
 	}
 }
 
