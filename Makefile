@@ -1,9 +1,15 @@
 # Tier-1 verification lives in verify.sh; `make verify` is the one command
 # to run before committing.
-.PHONY: verify build test race vet bench bench-parallel bench-pipeline bench-multicore bench-multicore-diff bench-diff bench-serve
+.PHONY: verify build test race vet bench bench-parallel bench-pipeline bench-multicore bench-multicore-diff bench-diff bench-serve chaos
 
 verify:
 	./verify.sh
+
+# Seeded fault-injection campaign: 50 distinct disk-fault/crash schedules
+# against the store, race, checkpoint and serve workloads, invariants
+# checked after each. Failures print a deterministic replay command.
+chaos:
+	go run -race ./cmd/localitylab chaos run -seed 1 -n 50 -out /tmp/chaos-manifest.json
 
 # All benchmark artifacts: the scheduler comparison and the batched
 # fast-path comparison.

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"graphlocality/internal/chaos"
+)
+
+// cmdChaos is the fault-campaign front end: "chaos run" executes a
+// seeded campaign of generated fault schedules and fails (exit 1) if
+// any schedule breaks an invariant, printing the exact replay command;
+// "chaos replay" re-runs one schedule from its (seed, index) pair.
+func cmdChaos(args []string) error {
+	if len(args) < 1 {
+		return usagef("chaos subcommand required: run, replay")
+	}
+	sub, rest := args[0], args[1:]
+	switch sub {
+	case "run":
+		return cmdChaosRun(rest)
+	case "replay":
+		return cmdChaosReplay(rest)
+	default:
+		return usagef("unknown chaos subcommand %q (want run or replay)", sub)
+	}
+}
+
+func cmdChaosRun(args []string) error {
+	fs := flag.NewFlagSet("chaos run", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "campaign seed; (seed, index) fully determines every schedule")
+	count := fs.Int("n", 50, "distinct fault schedules to run")
+	workloads := fs.String("workloads", "", "comma-separated workload filter (default: all of "+
+		strings.Join(chaos.Workloads(), ", ")+")")
+	scratch := fs.String("scratch", "", "scratch directory for per-schedule stores (default: OS temp dir)")
+	out := fs.String("out", "", "write the JSON campaign manifest to this path")
+	quiet := fs.Bool("q", false, "suppress the per-schedule progress lines")
+	unverified := fs.Bool("unverified", false,
+		"sabotage self-test: bypass artifact verification so corruption schedules MUST fail the campaign")
+	fs.Parse(args)
+
+	opts := chaos.Options{
+		Seed:       *seed,
+		Count:      *count,
+		ScratchDir: *scratch,
+		Unverified: *unverified,
+	}
+	if *workloads != "" {
+		for _, w := range strings.Split(*workloads, ",") {
+			opts.Workloads = append(opts.Workloads, strings.TrimSpace(w))
+		}
+	}
+	if !*quiet {
+		opts.Log = os.Stderr
+	}
+	rep, err := chaos.Run(opts)
+	if err != nil {
+		return err
+	}
+	if *out != "" {
+		if err := chaos.WriteReport(*out, rep); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "localitylab: wrote campaign manifest %s\n", *out)
+	}
+	fmt.Printf("campaign seed %d: %d schedule(s) ran, %d duplicate index(es) skipped, %d violation(s)\n",
+		rep.Seed, rep.Ran, rep.Skipped, rep.Violations)
+	if rep.Failed() {
+		for _, s := range rep.Schedules {
+			for _, v := range s.Violations {
+				fmt.Printf("  FAIL schedule %d [%s] %s: %s: %s\n",
+					s.Index, s.Workload, s.Spec, v.Invariant, v.Detail)
+				fmt.Printf("       replay: localitylab chaos replay -seed %d -index %d\n", rep.Seed, s.Index)
+			}
+		}
+		return fmt.Errorf("chaos: campaign failed with %d invariant violation(s)", rep.Violations)
+	}
+	return nil
+}
+
+func cmdChaosReplay(args []string) error {
+	fs := flag.NewFlagSet("chaos replay", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "campaign seed the failing schedule came from")
+	index := fs.Int("index", -1, "schedule index to replay (from the campaign's FAIL line)")
+	scratch := fs.String("scratch", "", "scratch directory (default: OS temp dir)")
+	unverified := fs.Bool("unverified", false, "replay with artifact verification bypassed (sabotage self-test)")
+	fs.Parse(args)
+	if *index < 0 {
+		return usagef("-index is required (the schedule index from the campaign output)")
+	}
+	res, err := chaos.Replay(chaos.Options{
+		Seed:       *seed,
+		ScratchDir: *scratch,
+		Unverified: *unverified,
+	}, *index)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("schedule %d [%s] %s: crashed=%v, %d vfs fault(s)\n",
+		res.Index, res.Workload, res.Spec, res.Crashed, res.VFSFaults)
+	if len(res.Violations) == 0 {
+		fmt.Println("all invariants held")
+		return nil
+	}
+	for _, v := range res.Violations {
+		fmt.Printf("  FAIL %s: %s\n", v.Invariant, v.Detail)
+	}
+	return fmt.Errorf("chaos: schedule %d broke %d invariant(s)", *index, len(res.Violations))
+}

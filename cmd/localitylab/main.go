@@ -96,6 +96,8 @@ func main() {
 		err = cmdServe(os.Args[2:])
 	case "loadtest":
 		err = cmdLoadtest(os.Args[2:])
+	case "chaos":
+		err = cmdChaos(os.Args[2:])
 	case "version", "-version", "--version":
 		err = cmdVersion(os.Args[2:])
 	case "help", "-h", "--help":
@@ -178,6 +180,10 @@ Commands:
   serve       run localityd, the reorder/simulate daemon (admission control,
               deadlines, load shedding, graceful drain on SIGTERM)
   loadtest    fire a mixed workload at a running daemon -> BENCH_serve.json
+  chaos       seeded fault-injection campaign: chaos run -seed S -n N runs N
+              distinct disk-fault/crash schedules against store, race,
+              checkpoint and serve workloads and checks end-to-end
+              invariants; chaos replay -seed S -index I reproduces one
   version     print the binary version (also: -version)
 
 Environment:

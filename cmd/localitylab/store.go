@@ -122,22 +122,32 @@ func cmdStoreVerify(args []string) error {
 }
 
 // cmdStoreGC removes crash debris: orphaned atomic-write temp files older
-// than -temp-age and, with -purge-corrupt, quarantined artifacts.
+// than -temp-age and, with -purge-corrupt, quarantined artifacts. With
+// -dry-run it only lists what would be reclaimed.
 func cmdStoreGC(args []string) error {
 	fs := flag.NewFlagSet("store gc", flag.ExitOnError)
 	tempAge := fs.Duration("temp-age", time.Hour, "minimum age before an orphaned temp file is collected")
 	purge := fs.Bool("purge-corrupt", false, "also delete quarantined .corrupt artifacts")
+	dryRun := fs.Bool("dry-run", false, "list reclaimable files without deleting them")
 	s, err := openStoreDir(fs, args)
 	if err != nil {
 		return err
 	}
-	removed, err := s.GC(store.GCOptions{TempAge: *tempAge, PurgeCorrupt: *purge})
+	removed, err := s.GC(store.GCOptions{TempAge: *tempAge, PurgeCorrupt: *purge, DryRun: *dryRun})
 	if err != nil {
 		return err
 	}
-	for _, name := range removed {
-		fmt.Println("removed", name)
+	verb := "removed"
+	if *dryRun {
+		verb = "would remove"
 	}
-	fmt.Printf("%d file(s) removed\n", len(removed))
+	for _, name := range removed {
+		fmt.Println(verb, name)
+	}
+	if *dryRun {
+		fmt.Printf("%d file(s) reclaimable (dry run, nothing deleted)\n", len(removed))
+	} else {
+		fmt.Printf("%d file(s) removed\n", len(removed))
+	}
 	return nil
 }

@@ -11,6 +11,7 @@ import (
 	"graphlocality/internal/graph"
 	"graphlocality/internal/reorder"
 	"graphlocality/internal/store"
+	"graphlocality/internal/vfs"
 )
 
 // Permutation checkpoints persist the expensive output of a reordering
@@ -145,7 +146,13 @@ func decodePermSections(sections []store.Section, path, algName string, n uint32
 // goes through the artifact store: it is crash-safe and taken under the
 // artifact's exclusive lock.
 func SavePermCheckpoint(dir, dsName, algName string, res reorder.Result) error {
-	st, err := store.Open(dir, nil)
+	return SavePermCheckpointFS(nil, dir, dsName, algName, res)
+}
+
+// SavePermCheckpointFS is SavePermCheckpoint with the store's disk
+// operations routed through fsys (nil = the real filesystem).
+func SavePermCheckpointFS(fsys vfs.FS, dir, dsName, algName string, res reorder.Result) error {
+	st, err := store.OpenFS(dir, nil, fsys)
 	if err != nil {
 		return err
 	}
@@ -157,7 +164,13 @@ func SavePermCheckpoint(dir, dsName, algName string, res reorder.Result) error {
 // *store.IntegrityError after the store has quarantined the file; a
 // missing checkpoint reports os.IsNotExist.
 func LoadPermCheckpoint(dir, dsName, algName string, n uint32) (reorder.Result, error) {
-	st, err := store.Open(dir, nil)
+	return LoadPermCheckpointFS(nil, dir, dsName, algName, n)
+}
+
+// LoadPermCheckpointFS is LoadPermCheckpoint with the store's disk
+// operations routed through fsys (nil = the real filesystem).
+func LoadPermCheckpointFS(fsys vfs.FS, dir, dsName, algName string, n uint32) (reorder.Result, error) {
+	st, err := store.OpenFS(dir, nil, fsys)
 	if err != nil {
 		return reorder.Result{}, err
 	}

@@ -18,6 +18,7 @@ import (
 	"graphlocality/internal/spmv"
 	"graphlocality/internal/store"
 	"graphlocality/internal/trace"
+	"graphlocality/internal/vfs"
 )
 
 // memo is a concurrency-safe cache with per-key once semantics: concurrent
@@ -102,6 +103,9 @@ type Session struct {
 	// Resume makes Reorder load checkpoints from CacheDir instead of
 	// recomputing.
 	Resume bool
+	// FS routes the checkpoint store's disk operations (nil = the real
+	// filesystem). Chaos tests inject a vfs.FaultFS here.
+	FS vfs.FS
 	// Obs receives the session's observability stream: deterministic
 	// counters and span facts (cells scheduled, simulated accesses, bytes
 	// touched) alongside timing measurements. Nil disables recording. Pass
@@ -234,7 +238,7 @@ func (s *Session) cacheStore() *store.Store {
 		return nil
 	}
 	s.storeOnce.Do(func() {
-		st, err := store.Open(s.CacheDir, s.Obs)
+		st, err := store.OpenFS(s.CacheDir, s.Obs, s.FS)
 		if err != nil {
 			log.Printf("expt: cache directory unusable, running uncached: %v", err)
 			return

@@ -29,12 +29,21 @@ import (
 	"time"
 
 	"graphlocality/internal/obs"
+	"graphlocality/internal/vfs"
 )
 
 // ErrCanceled is returned (possibly wrapped) by cooperative loops that
 // observed context cancellation and stopped early. Partial results
 // accompanying it are valid as far as they go.
 var ErrCanceled = errors.New("runctl: canceled")
+
+// ErrStalled is returned (wrapped in a *StageError) when a stage's
+// watchdog fires: the attempt made no progress for Config.Watchdog and
+// the controller stopped waiting for it. The attempt's context is
+// cancelled so cooperative code unwinds, but a truly hung goroutine
+// cannot be killed — the controller abandons it and degrades instead of
+// hanging the whole run with it.
+var ErrStalled = errors.New("runctl: stage stalled")
 
 // StageError is the typed failure of one pipeline stage. It preserves the
 // stage identity, the attempt count, and — when the stage panicked — the
@@ -130,6 +139,18 @@ type Config struct {
 	// Heartbeat is the progress-event period while a stage runs
 	// (0 disables heartbeats).
 	Heartbeat time.Duration
+	// Watchdog bounds how long the controller waits for a stage attempt
+	// to return (0 disables it). Unlike StageTimeout — which only helps
+	// when the stage polls its context — the watchdog catches
+	// non-cooperative hangs: when it fires, the attempt's context is
+	// cancelled, the attempt goroutine is abandoned, and the stage fails
+	// with a *StageError wrapping ErrStalled.
+	Watchdog time.Duration
+	// Clock supplies wall-clock reads and timer waits (heartbeats,
+	// watchdog, default backoff sleep). Nil means the real clock; tests
+	// inject a vfs.FakeClock so heartbeat/watchdog behaviour is provable
+	// without real sleeps.
+	Clock vfs.Clock
 	// OnEvent receives lifecycle and heartbeat events (may be nil). It is
 	// called from the controller's goroutines and must be fast.
 	OnEvent func(Event)
@@ -153,21 +174,11 @@ func (c Config) withDefaults() Config {
 	if c.MaxBackoff <= 0 {
 		c.MaxBackoff = 2 * time.Second
 	}
+	c.Clock = vfs.ClockOf(c.Clock)
 	if c.Sleep == nil {
-		c.Sleep = sleepCtx
+		c.Sleep = c.Clock.Sleep
 	}
 	return c
-}
-
-func sleepCtx(ctx context.Context, d time.Duration) error {
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-ctx.Done():
-		return ctx.Err()
-	case <-t.C:
-		return nil
-	}
 }
 
 // Backoff returns the capped exponential backoff schedule for the given
@@ -231,7 +242,7 @@ func (c *Controller) Active() map[string]time.Duration {
 	defer c.mu.Unlock()
 	out := make(map[string]time.Duration, len(c.active))
 	for s, t0 := range c.active {
-		out[s] = time.Since(t0)
+		out[s] = c.cfg.Clock.Since(t0)
 	}
 	return out
 }
@@ -289,22 +300,25 @@ func (c *Controller) Run(stage string, fn func(ctx context.Context) error) error
 	}
 }
 
-// attempt runs fn once with deadline, panic isolation and heartbeats.
+// attempt runs fn once with deadline, panic isolation, heartbeats and —
+// when configured — the stall watchdog.
 func (c *Controller) attempt(stage string, attempt int, fn func(ctx context.Context) error) (err error) {
 	ctx := c.ctx
-	cancel := func() {}
-	if c.cfg.StageTimeout > 0 {
+	cancel := context.CancelFunc(func() {})
+	switch {
+	case c.cfg.StageTimeout > 0:
 		ctx, cancel = context.WithTimeout(ctx, c.cfg.StageTimeout)
+	case c.cfg.Watchdog > 0:
+		// No deadline of its own, but the watchdog needs a handle to tell
+		// cooperative code to unwind when it stops waiting.
+		ctx, cancel = context.WithCancel(ctx)
 	}
 	defer cancel()
 
-	start := time.Now()
+	start := c.cfg.Clock.Now()
 	c.mu.Lock()
 	c.active[stage] = start
 	c.mu.Unlock()
-	// Registered before the recover defer (LIFO), so by the time this runs
-	// the panic — if any — has already been folded into err: only genuinely
-	// successful attempts land in the span.
 	defer func() {
 		c.mu.Lock()
 		delete(c.active, stage)
@@ -320,15 +334,13 @@ func (c *Controller) attempt(stage string, attempt int, fn func(ctx context.Cont
 	if c.cfg.Heartbeat > 0 && c.cfg.OnEvent != nil {
 		hbStop = make(chan struct{})
 		go func() {
-			t := time.NewTicker(c.cfg.Heartbeat)
-			defer t.Stop()
 			for {
 				select {
 				case <-hbStop:
 					return
-				case <-t.C:
+				case <-c.cfg.Clock.After(c.cfg.Heartbeat):
 					c.emit(Event{Kind: EventHeartbeat, Stage: stage, Attempt: attempt,
-						Elapsed: time.Since(start)})
+						Elapsed: c.cfg.Clock.Since(start)})
 				}
 			}
 		}()
@@ -339,24 +351,48 @@ func (c *Controller) attempt(stage string, attempt int, fn func(ctx context.Cont
 		}
 	}()
 
-	defer func() {
-		if r := recover(); r != nil {
-			se := &StageError{Stage: stage, Recovered: r, Stack: debug.Stack()}
-			if e, ok := r.(error); ok {
-				se.Err = e
+	// runBody executes fn with panic isolation. The recover lives here —
+	// not in a defer of attempt — because under the watchdog fn runs in
+	// its own goroutine, and a panic there would kill the process before
+	// any defer of attempt could see it.
+	runBody := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				se := &StageError{Stage: stage, Recovered: r, Stack: debug.Stack()}
+				if e, ok := r.(error); ok {
+					se.Err = e
+				}
+				err = se
 			}
-			err = se
+		}()
+		return fn(ctx)
+	}
+
+	if c.cfg.Watchdog > 0 {
+		done := make(chan error, 1)
+		go func() { done <- runBody() }()
+		select {
+		case err = <-done:
+		case <-c.cfg.Clock.After(c.cfg.Watchdog):
+			// Stop waiting: cancel so cooperative code unwinds, abandon the
+			// goroutine (it parks on the buffered channel if it ever
+			// finishes), and degrade with a typed error.
+			cancel()
+			return fmt.Errorf("no completion after %v: %w", c.cfg.Watchdog, ErrStalled)
 		}
-	}()
-	if err := fn(ctx); err != nil {
+	} else {
+		err = runBody()
+	}
+
+	if err != nil {
 		// A deadline overrun of this attempt surfaces as the stage's error;
 		// cooperative loops return ErrCanceled when the attempt ctx dies.
-		if ctx.Err() != nil && c.ctx.Err() == nil {
+		if c.cfg.StageTimeout > 0 && ctx.Err() != nil && c.ctx.Err() == nil {
 			return fmt.Errorf("deadline %v exceeded: %w", c.cfg.StageTimeout, err)
 		}
 		return err
 	}
-	if ctx.Err() != nil && c.ctx.Err() == nil {
+	if c.cfg.StageTimeout > 0 && ctx.Err() != nil && c.ctx.Err() == nil {
 		return fmt.Errorf("deadline %v exceeded: %w", c.cfg.StageTimeout, ErrCanceled)
 	}
 	return nil

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"graphlocality/internal/vfs"
 )
 
 // recordedSleep replaces the inter-attempt sleep with a recorder so retry
@@ -359,5 +361,142 @@ func TestTransientNilAndExample(t *testing.T) {
 	}
 	if IsTransient(errors.New("plain")) {
 		t.Error("plain error marked transient")
+	}
+}
+
+func TestWatchdogConvertsHangToTypedStageError(t *testing.T) {
+	clock := vfs.NewFakeClock(time.Unix(0, 0))
+	c := New(context.Background(), Config{Watchdog: time.Minute, MaxAttempts: 1, Clock: clock})
+	hung := make(chan struct{})
+	sawCancel := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- c.Run("stuck", func(ctx context.Context) error {
+			go func() {
+				<-ctx.Done()
+				close(sawCancel)
+			}()
+			<-hung // non-cooperative hang: never polls ctx
+			return nil
+		})
+	}()
+	// Wait (on the fake clock) until the watchdog timer is armed, then
+	// fire it. The heartbeat is off, so the only waiter is the watchdog.
+	waitForWaiters(t, clock, 1)
+	clock.Advance(time.Minute)
+	var err error
+	select {
+	case err = <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run still blocked after the watchdog fired — the hang leaked through")
+	}
+	var se *StageError
+	if !errors.As(err, &se) {
+		t.Fatalf("watchdog failure = %T %v, want *StageError", err, err)
+	}
+	if se.Stage != "stuck" || !errors.Is(err, ErrStalled) {
+		t.Fatalf("StageError = %+v, want stage stuck wrapping ErrStalled", se)
+	}
+	// The attempt context must have been cancelled so cooperative code
+	// unwinds even though this stage ignored it.
+	select {
+	case <-sawCancel:
+	case <-time.After(5 * time.Second):
+		t.Fatal("watchdog never cancelled the attempt context")
+	}
+	close(hung)
+}
+
+func TestWatchdogInnocentWhenStageFinishes(t *testing.T) {
+	clock := vfs.NewFakeClock(time.Unix(0, 0))
+	c := New(context.Background(), Config{Watchdog: time.Minute, Clock: clock})
+	if err := c.Run("quick", func(ctx context.Context) error { return nil }); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// A failing-but-returning stage is a stage failure, not a stall.
+	boom := errors.New("boom")
+	err := c.Run("failing", func(ctx context.Context) error { return boom })
+	if !errors.Is(err, boom) || errors.Is(err, ErrStalled) {
+		t.Fatalf("Run = %v, want boom and no stall", err)
+	}
+}
+
+func TestWatchdogPanicStillIsolated(t *testing.T) {
+	clock := vfs.NewFakeClock(time.Unix(0, 0))
+	c := New(context.Background(), Config{Watchdog: time.Minute, MaxAttempts: 1, Clock: clock})
+	err := c.Run("popper", func(ctx context.Context) error { panic("pop") })
+	var se *StageError
+	if !errors.As(err, &se) || !se.Panicked() {
+		t.Fatalf("panic under watchdog = %v, want panicking *StageError", err)
+	}
+}
+
+func TestHeartbeatOnFakeClockNoRealSleeps(t *testing.T) {
+	clock := vfs.NewFakeClock(time.Unix(0, 0))
+	var mu sync.Mutex
+	var beats []Event
+	c := New(context.Background(), Config{
+		Heartbeat: time.Second,
+		Clock:     clock,
+		OnEvent: func(e Event) {
+			if e.Kind == EventHeartbeat {
+				mu.Lock()
+				beats = append(beats, e)
+				mu.Unlock()
+			}
+		},
+	})
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- c.Run("beating", func(ctx context.Context) error {
+			<-release
+			return nil
+		})
+	}()
+	for i := 1; i <= 3; i++ {
+		waitForWaiters(t, clock, 1) // heartbeat loop re-arms after each beat
+		clock.Advance(time.Second)
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			mu.Lock()
+			n := len(beats)
+			mu.Unlock()
+			if n >= i {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("beat %d never arrived", i)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(beats) < 3 {
+		t.Fatalf("got %d heartbeats, want >= 3", len(beats))
+	}
+	// Elapsed must come from the fake clock: whole seconds, monotone.
+	for i, b := range beats[:3] {
+		if want := time.Duration(i+1) * time.Second; b.Elapsed != want {
+			t.Errorf("beat %d Elapsed = %v, want %v (fake-clock time)", i, b.Elapsed, want)
+		}
+	}
+}
+
+// waitForWaiters spins until the fake clock has at least n registered
+// timer waiters, so Advance cannot race ahead of the code under test.
+func waitForWaiters(t *testing.T, c *vfs.FakeClock, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Waiters() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("clock never saw %d waiter(s)", n)
+		}
+		time.Sleep(time.Millisecond)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -261,8 +262,10 @@ func TestAPILoadSheddingUnderFlood(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("flooded submit = %d, want 429 (body %s)", resp.StatusCode, data)
 	}
-	if resp.Header.Get("Retry-After") == "" {
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
 		t.Fatal("429 without Retry-After header")
+	} else if sec, err := strconv.Atoi(ra); err != nil || sec < retryAfterMin || sec > retryAfterMax {
+		t.Fatalf("Retry-After = %q, want integer in [%d,%d]", ra, retryAfterMin, retryAfterMax)
 	}
 	var eb errorBody
 	if err := json.Unmarshal(data, &eb); err != nil || eb.Code != "shed" {
@@ -427,5 +430,25 @@ func TestJobStatusJSONRoundTrip(t *testing.T) {
 	}
 	if back.ID != st.ID || back.Result == nil || back.Result.Accesses != 99 {
 		t.Fatalf("round trip = %+v", back)
+	}
+}
+
+func TestRetryAfterHintBoundsAndJitter(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 500; i++ {
+		hint := retryAfterHint()
+		sec, err := strconv.Atoi(hint)
+		if err != nil {
+			t.Fatalf("retryAfterHint() = %q, not an integer: %v", hint, err)
+		}
+		if sec < retryAfterMin || sec > retryAfterMax {
+			t.Fatalf("retryAfterHint() = %d, outside [%d,%d]", sec, retryAfterMin, retryAfterMax)
+		}
+		seen[hint] = true
+	}
+	// 500 draws over a 3-value window: a fixed hint (the retry-storm bug
+	// this guards against) would show exactly one distinct value.
+	if len(seen) < 2 {
+		t.Fatalf("retryAfterHint produced no jitter: only %v over 500 draws", seen)
 	}
 }

@@ -6,8 +6,10 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"math/rand"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -15,6 +17,7 @@ import (
 	"graphlocality/internal/obs"
 	"graphlocality/internal/runctl"
 	"graphlocality/internal/store"
+	"graphlocality/internal/vfs"
 )
 
 // Config tunes a Server. The zero value is usable for tests; production
@@ -34,6 +37,9 @@ type Config struct {
 	// CacheDir, when non-empty, backs results with the crash-safe
 	// artifact store (cross-process single-flight dedup).
 	CacheDir string
+	// FS routes the result cache's disk operations (nil = the real
+	// filesystem). Chaos tests inject a vfs.FaultFS here.
+	FS vfs.FS
 	// BreakerThreshold is the consecutive store-failure count that opens
 	// the circuit breaker (default 3); BreakerCooldown is how long it
 	// stays open (default 5s).
@@ -194,7 +200,7 @@ func New(cfg Config) *Server {
 	s.queue = newQueue(cfg.QueueMax, reg.Gauge("serve.queue_depth"))
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	if cfg.CacheDir != "" {
-		st, err := store.Open(cfg.CacheDir, reg)
+		st, err := store.OpenFS(cfg.CacheDir, reg, cfg.FS)
 		if err != nil {
 			cfg.Log.Printf("localityd: cache directory unusable, serving uncached: %v", err)
 		} else {
@@ -445,6 +451,21 @@ type errorBody struct {
 	Code  string `json:"code"`
 }
 
+// Retry-After bounds for shed (429) responses. A fixed hint would
+// synchronize every shed client into one retry storm that refills the
+// queue at the same instant it drained; jittering across a small window
+// spreads the herd.
+const (
+	retryAfterMin = 1
+	retryAfterMax = 3
+)
+
+// retryAfterHint returns a whole-second Retry-After value jittered
+// uniformly over [retryAfterMin, retryAfterMax].
+func retryAfterHint() string {
+	return strconv.Itoa(retryAfterMin + rand.Intn(retryAfterMax-retryAfterMin+1))
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	req, err := DecodeJobRequest(http.MaxBytesReader(w, r.Body, MaxRequestBytes), s.cfg.Limits)
 	if err != nil {
@@ -455,7 +476,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case err == nil:
 	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", retryAfterHint())
 		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error(), Code: "shed"})
 		return
 	case errors.Is(err, ErrDraining):

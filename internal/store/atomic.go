@@ -5,11 +5,11 @@ import (
 	"context"
 	"errors"
 	"io"
-	"os"
 	"path/filepath"
 	"syscall"
 
 	"graphlocality/internal/runctl"
+	"graphlocality/internal/vfs"
 )
 
 // The atomic write protocol, instrumented for the chaos harness. Every
@@ -51,23 +51,38 @@ func CrashPoints() []string {
 	}
 }
 
-// WriteFileAtomic writes a file with full crash safety: the payload is
-// streamed into a same-directory temp file, flushed and fsynced, renamed
-// over path, and the directory is fsynced so the rename itself is
-// durable. A crash at any instant leaves either the old file or the new
-// file under path, never a torn mixture (plus at most one orphaned
-// ".tmp-*" file, which GC collects).
+// isCrash reports whether err is a simulated process death — from the
+// runctl failpoint layer or from an injected vfs fault. Both mean the
+// same thing to the write protocol: unwind without cleanup, leaving the
+// on-disk state a SIGKILL at that instant would leave.
+func isCrash(err error) bool {
+	return errors.Is(err, runctl.ErrSimulatedCrash) || errors.Is(err, vfs.ErrInjectedCrash)
+}
+
+// WriteFileAtomic is WriteFileAtomicFS on the real filesystem.
+func WriteFileAtomic(path string, write func(io.Writer) error) error {
+	return WriteFileAtomicFS(nil, path, write)
+}
+
+// WriteFileAtomicFS writes a file with full crash safety through fsys
+// (nil = the OS passthrough): the payload is streamed into a
+// same-directory temp file, flushed and fsynced, renamed over path, and
+// the directory is fsynced so the rename itself is durable. A crash at
+// any instant leaves either the old file or the new file under path,
+// never a torn mixture (plus at most one orphaned ".tmp-*" file, which
+// GC collects).
 //
-// A runctl failpoint in FailCrash mode at any CrashPoints entry aborts
-// the protocol right there with runctl.ErrSimulatedCrash and —
-// deliberately — skips all cleanup, so crash-restart tests see exactly
-// the on-disk state a SIGKILL would leave.
-func WriteFileAtomic(path string, write func(io.Writer) error) (err error) {
+// A runctl failpoint in FailCrash mode at any CrashPoints entry — or a
+// vfs fault rule returning a crash error — aborts the protocol right
+// there and, deliberately, skips all cleanup, so crash-restart tests see
+// exactly the on-disk state a SIGKILL would leave.
+func WriteFileAtomicFS(fsys vfs.FS, path string, write func(io.Writer) error) (err error) {
+	fsys = vfs.Of(fsys)
 	dir, base := filepath.Split(path)
 	if dir == "" {
 		dir = "."
 	}
-	tmp, err := os.CreateTemp(dir, ".tmp-"+base+"-*")
+	tmp, err := fsys.CreateTemp(dir, ".tmp-"+base+"-*")
 	if err != nil {
 		return err
 	}
@@ -81,47 +96,52 @@ func WriteFileAtomic(path string, write func(io.Writer) error) (err error) {
 		}
 		tmp.Close()
 		if err != nil {
-			os.Remove(tmpName)
+			fsys.Remove(tmpName)
 		}
 	}()
 
 	bw := bufio.NewWriter(tmp)
 	if err = write(bw); err != nil {
+		crashed = isCrash(err)
 		return err
 	}
 	if err = runctl.FireFile(context.Background(), PointBeforeFlush, tmpName); err != nil {
-		crashed = errors.Is(err, runctl.ErrSimulatedCrash)
+		crashed = isCrash(err)
 		return err
 	}
 	if err = bw.Flush(); err != nil {
+		crashed = isCrash(err)
 		return err
 	}
 	if err = runctl.FireFile(context.Background(), PointBeforeSync, tmpName); err != nil {
-		crashed = errors.Is(err, runctl.ErrSimulatedCrash)
+		crashed = isCrash(err)
 		return err
 	}
 	if err = tmp.Sync(); err != nil {
+		crashed = isCrash(err)
 		return err
 	}
 	if err = tmp.Close(); err != nil {
 		return err
 	}
 	if err = runctl.FireFile(context.Background(), PointBeforeRename, tmpName); err != nil {
-		crashed = errors.Is(err, runctl.ErrSimulatedCrash)
+		crashed = isCrash(err)
 		return err
 	}
-	if err = os.Rename(tmpName, path); err != nil {
+	if err = fsys.Rename(tmpName, path); err != nil {
+		crashed = isCrash(err)
 		return err
 	}
 	if err = runctl.FireFile(context.Background(), PointBeforeDirSync, path); err != nil {
-		crashed = errors.Is(err, runctl.ErrSimulatedCrash)
+		crashed = isCrash(err)
 		return err
 	}
-	if err = syncDir(dir); err != nil {
+	if err = syncDir(fsys, dir); err != nil {
+		crashed = isCrash(err)
 		return err
 	}
 	if err = runctl.FireFile(context.Background(), PointAfterCommit, path); err != nil {
-		crashed = errors.Is(err, runctl.ErrSimulatedCrash)
+		crashed = isCrash(err)
 		return err
 	}
 	return nil
@@ -131,15 +151,16 @@ func WriteFileAtomic(path string, write func(io.Writer) error) (err error) {
 // loss. Filesystems that cannot fsync directories report EINVAL/ENOTSUP;
 // those are ignored — the rename is still atomic, just not yet durable,
 // which is the strongest guarantee such filesystems offer.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
+func syncDir(fsys vfs.FS, dir string) error {
+	d, err := fsys.Open(dir)
 	if err != nil {
 		return err
 	}
 	defer d.Close()
-	if err := d.Sync(); err != nil &&
-		!errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
-		return err
+	if err := d.Sync(); err != nil {
+		if isCrash(err) || (!errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP)) {
+			return err
+		}
 	}
 	return nil
 }

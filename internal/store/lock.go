@@ -1,5 +1,7 @@
 package store
 
+import "graphlocality/internal/vfs"
+
 // Advisory artifact locking. Each artifact <name> is guarded by a
 // sibling <name>.lock file: writers hold it exclusively, readers hold it
 // shared, so concurrent processes sharing one cache directory never
@@ -43,7 +45,14 @@ func (l *FileLock) Unlock() error {
 // LockShared acquires the advisory lock at path in shared (reader) mode,
 // blocking while a writer holds it.
 func LockShared(path string) (*FileLock, error) {
-	h, err := acquireLock(path, false, true)
+	return LockSharedFS(nil, path)
+}
+
+// LockSharedFS is LockShared with the lock file opened through fsys
+// (nil = the OS passthrough), so a fault-injecting filesystem can fail
+// lock acquisition too.
+func LockSharedFS(fsys vfs.FS, path string) (*FileLock, error) {
+	h, err := acquireLock(fsys, path, false, true)
 	if err != nil {
 		return nil, err
 	}
@@ -53,7 +62,13 @@ func LockShared(path string) (*FileLock, error) {
 // LockExclusive acquires the advisory lock at path in exclusive (writer)
 // mode, blocking while any reader or writer holds it.
 func LockExclusive(path string) (*FileLock, error) {
-	h, err := acquireLock(path, true, true)
+	return LockExclusiveFS(nil, path)
+}
+
+// LockExclusiveFS is LockExclusive with the lock file opened through
+// fsys (nil = the OS passthrough).
+func LockExclusiveFS(fsys vfs.FS, path string) (*FileLock, error) {
+	h, err := acquireLock(fsys, path, true, true)
 	if err != nil {
 		return nil, err
 	}
@@ -63,7 +78,7 @@ func LockExclusive(path string) (*FileLock, error) {
 // TryLockExclusive attempts the exclusive lock without blocking. ok is
 // false when another holder has it.
 func TryLockExclusive(path string) (l *FileLock, ok bool, err error) {
-	h, err := acquireLock(path, true, false)
+	h, err := acquireLock(nil, path, true, false)
 	if err != nil {
 		return nil, false, err
 	}

@@ -1,17 +1,22 @@
-//go:build !unix
-
 package store
 
 import (
 	"os"
 	"sync"
+
+	"graphlocality/internal/vfs"
 )
 
-// Fallback locking for platforms without flock(2): a process-local
-// reader/writer lock per lock-file path. In-process semantics (the ones
-// the test suite exercises) are identical to the unix implementation;
-// cross-process exclusion is not provided, so concurrent *processes*
-// sharing a cache directory are only safe on unix.
+// Fallback locking for environments without flock(2) — non-unix
+// platforms, and filesystems whose files are not OS-backed: a
+// process-local reader/writer lock per lock-file path. In-process
+// semantics (the ones the test suite exercises) are identical to the
+// unix implementation; cross-process exclusion is not provided, so
+// concurrent *processes* sharing a cache directory are only safe on
+// unix. This file compiles on every platform so the fallback path stays
+// under test even on unix CI (lock_fallback_test.go drives it directly);
+// lock_other.go wires it up as the acquireLock implementation where
+// flock does not exist.
 
 var (
 	fallbackMu    sync.Mutex
@@ -43,9 +48,9 @@ func (h *fallbackHandle) release() error {
 	return nil
 }
 
-func acquireLock(path string, exclusive, block bool) (lockHandle, error) {
+func acquireFallbackLock(fsys vfs.FS, path string, exclusive, block bool) (lockHandle, error) {
 	// Touch the lock file so directory listings look the same as on unix.
-	if f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644); err == nil {
+	if f, err := vfs.Of(fsys).OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644); err == nil {
 		f.Close()
 	}
 	mu := fallbackLock(path)

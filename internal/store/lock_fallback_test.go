@@ -1,0 +1,105 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// These tests drive acquireFallbackLock directly, so the non-flock path
+// is exercised on every platform — including the unix CI runners whose
+// production acquireLock never reaches it.
+
+func TestFallbackLockExclusiveExcludes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a.lock")
+	h1, err := acquireFallbackLock(nil, path, true, true)
+	if err != nil || h1 == nil {
+		t.Fatalf("first exclusive acquire: %v, %v", h1, err)
+	}
+	// The lock file must exist, like on unix.
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("lock file not touched: %v", err)
+	}
+	// Non-blocking second exclusive must report held.
+	h2, err := acquireFallbackLock(nil, path, true, false)
+	if err != nil {
+		t.Fatalf("try while held: %v", err)
+	}
+	if h2 != nil {
+		t.Fatal("try-exclusive must fail while the lock is held")
+	}
+	// A blocking acquire must wait until release.
+	acquired := make(chan lockHandle, 1)
+	go func() {
+		h, err := acquireFallbackLock(nil, path, true, true)
+		if err != nil {
+			t.Errorf("blocked acquire: %v", err)
+		}
+		acquired <- h
+	}()
+	select {
+	case <-acquired:
+		t.Fatal("blocking acquire must not succeed while held")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if err := h1.release(); err != nil {
+		t.Fatalf("release: %v", err)
+	}
+	select {
+	case h := <-acquired:
+		if err := h.release(); err != nil {
+			t.Fatalf("release second holder: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocked acquire never woke after release")
+	}
+}
+
+func TestFallbackLockSharedReadersCoexist(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "b.lock")
+	h1, err := acquireFallbackLock(nil, path, false, true)
+	if err != nil || h1 == nil {
+		t.Fatalf("reader 1: %v, %v", h1, err)
+	}
+	h2, err := acquireFallbackLock(nil, path, false, false)
+	if err != nil || h2 == nil {
+		t.Fatalf("reader 2 must coexist with reader 1: %v, %v", h2, err)
+	}
+	// A writer cannot get in while readers hold it.
+	w, err := acquireFallbackLock(nil, path, true, false)
+	if err != nil {
+		t.Fatalf("try-exclusive: %v", err)
+	}
+	if w != nil {
+		t.Fatal("exclusive must fail while readers hold the lock")
+	}
+	if err := h1.release(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h2.release(); err != nil {
+		t.Fatal(err)
+	}
+	// All readers gone: the writer gets in.
+	w, err = acquireFallbackLock(nil, path, true, false)
+	if err != nil || w == nil {
+		t.Fatalf("exclusive after readers released: %v, %v", w, err)
+	}
+	if err := w.release(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFallbackLockDistinctPathsIndependent(t *testing.T) {
+	dir := t.TempDir()
+	h1, err := acquireFallbackLock(nil, filepath.Join(dir, "x.lock"), true, true)
+	if err != nil || h1 == nil {
+		t.Fatal(err)
+	}
+	defer h1.release()
+	h2, err := acquireFallbackLock(nil, filepath.Join(dir, "y.lock"), true, false)
+	if err != nil || h2 == nil {
+		t.Fatalf("distinct paths must not contend: %v, %v", h2, err)
+	}
+	defer h2.release()
+}

@@ -1,0 +1,11 @@
+//go:build !unix
+
+package store
+
+import "graphlocality/internal/vfs"
+
+// Without flock(2), every lock acquisition uses the process-local
+// fallback (lock_fallback.go).
+func acquireLock(fsys vfs.FS, path string, exclusive, block bool) (lockHandle, error) {
+	return acquireFallbackLock(fsys, path, exclusive, block)
+}

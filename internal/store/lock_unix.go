@@ -5,15 +5,17 @@ package store
 import (
 	"os"
 	"syscall"
+
+	"graphlocality/internal/vfs"
 )
 
-// flockHandle holds the open descriptor whose flock(2) lock guards the
+// flockHandle holds the open lock file whose flock(2) lock guards the
 // artifact. flock locks belong to the open file description, so two
 // handles — even inside one process — conflict exactly like two
 // processes do, which is what lets tests exercise the cross-process
 // protocol in-process with separate lock handles.
 type flockHandle struct {
-	f *os.File
+	f vfs.File
 }
 
 func (h *flockHandle) release() error {
@@ -22,12 +24,20 @@ func (h *flockHandle) release() error {
 	return h.f.Close()
 }
 
-// acquireLock opens (creating if needed) the lock file and flocks it.
-// With block=false a held lock returns (nil, nil).
-func acquireLock(path string, exclusive, block bool) (lockHandle, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+// acquireLock opens (creating if needed) the lock file through fsys and
+// flocks its underlying descriptor. With block=false a held lock returns
+// (nil, nil). A filesystem whose files are not OS-backed (Sys() is not
+// an *os.File) gets the process-local fallback instead — flock needs a
+// real descriptor.
+func acquireLock(fsys vfs.FS, path string, exclusive, block bool) (lockHandle, error) {
+	f, err := vfs.Of(fsys).OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, err
+	}
+	osf, ok := f.Sys().(*os.File)
+	if !ok {
+		f.Close()
+		return acquireFallbackLock(fsys, path, exclusive, block)
 	}
 	how := syscall.LOCK_SH
 	if exclusive {
@@ -37,7 +47,7 @@ func acquireLock(path string, exclusive, block bool) (lockHandle, error) {
 		how |= syscall.LOCK_NB
 	}
 	for {
-		err = syscall.Flock(int(f.Fd()), how)
+		err = syscall.Flock(int(osf.Fd()), how)
 		if err != syscall.EINTR {
 			break
 		}

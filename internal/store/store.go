@@ -5,13 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"time"
 
 	"graphlocality/internal/obs"
+	"graphlocality/internal/vfs"
 )
 
 // Name suffixes with reserved meaning inside a store directory.
@@ -31,23 +31,37 @@ const (
 type Store struct {
 	dir string
 	rec obs.Recorder
+	fs  vfs.FS
 }
 
 // Open returns a store rooted at dir, creating the directory if needed.
 // rec (may be nil) receives the store's counters: store.writes,
 // store.verified_reads, store.integrity_errors, store.quarantined.
 func Open(dir string, rec obs.Recorder) (*Store, error) {
+	return OpenFS(dir, rec, nil)
+}
+
+// OpenFS is Open with every disk touch routed through fsys (nil = the OS
+// passthrough). Chaos tests pass a vfs.FaultFS here so ENOSPC, EIO,
+// short writes, sync-then-crash and rename-drop hit the store's real
+// code paths.
+func OpenFS(dir string, rec obs.Recorder, fsys vfs.FS) (*Store, error) {
 	if dir == "" {
 		return nil, errors.New("store: empty directory")
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys = vfs.Of(fsys)
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	return &Store{dir: dir, rec: obs.Of(rec)}, nil
+	return &Store{dir: dir, rec: obs.Of(rec), fs: fsys}, nil
 }
 
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
+
+// FS returns the filesystem the store routes its disk operations
+// through (never nil).
+func (s *Store) FS() vfs.FS { return s.fs }
 
 // validName rejects artifact names that could escape the directory or
 // collide with the store's reserved file classes.
@@ -77,7 +91,7 @@ func (s *Store) WriteArtifact(name string, sections []Section) error {
 	if err := validName(name); err != nil {
 		return err
 	}
-	lock, err := LockExclusive(s.lockPath(name))
+	lock, err := LockExclusiveFS(s.fs, s.lockPath(name))
 	if err != nil {
 		return err
 	}
@@ -88,7 +102,7 @@ func (s *Store) WriteArtifact(name string, sections []Section) error {
 // writeLocked performs the atomic container write; the caller must hold
 // the artifact's exclusive lock.
 func (s *Store) writeLocked(name string, sections []Section) error {
-	err := WriteFileAtomic(s.Path(name), func(w io.Writer) error {
+	err := WriteFileAtomicFS(s.fs, s.Path(name), func(w io.Writer) error {
 		return WriteContainer(w, sections)
 	})
 	if err != nil {
@@ -106,7 +120,7 @@ func (s *Store) ReadArtifact(name string) ([]Section, error) {
 	if err := validName(name); err != nil {
 		return nil, err
 	}
-	lock, err := LockShared(s.lockPath(name))
+	lock, err := LockSharedFS(s.fs, s.lockPath(name))
 	if err != nil {
 		return nil, err
 	}
@@ -120,7 +134,7 @@ func (s *Store) ReadArtifact(name string) ([]Section, error) {
 // renames, the rest miss).
 func (s *Store) readLocked(name string) ([]Section, error) {
 	path := s.Path(name)
-	f, err := os.Open(path)
+	f, err := s.fs.Open(path)
 	if err != nil {
 		return nil, err
 	}
@@ -130,7 +144,7 @@ func (s *Store) readLocked(name string) ([]Section, error) {
 	if errors.As(err, &ie) {
 		ie.Path = path
 		s.rec.Counter("store.integrity_errors").Inc()
-		if qerr := os.Rename(path, path+CorruptSuffix); qerr == nil {
+		if qerr := s.fs.Rename(path, path+CorruptSuffix); qerr == nil {
 			ie.Quarantined = path + CorruptSuffix
 			s.rec.Counter("store.quarantined").Inc()
 		}
@@ -203,7 +217,7 @@ func (s *Store) GetOrCompute(name string, reuse bool, check func([]Section) erro
 			return GetResult{Sections: sections, Restored: true}, nil
 		}
 	}
-	lock, err := LockExclusive(s.lockPath(name))
+	lock, err := LockExclusiveFS(s.fs, s.lockPath(name))
 	if err != nil {
 		return GetResult{}, err
 	}
@@ -244,7 +258,7 @@ type ArtifactInfo struct {
 // read-only diagnosis; pass quarantine to move verified-bad artifacts
 // aside like ReadArtifact would). Entries come back sorted by name.
 func (s *Store) Scan(quarantine bool) ([]ArtifactInfo, error) {
-	entries, err := os.ReadDir(s.dir)
+	entries, err := s.fs.ReadDir(s.dir)
 	if err != nil {
 		return nil, err
 	}
@@ -267,7 +281,7 @@ func (s *Store) Scan(quarantine bool) ([]ArtifactInfo, error) {
 		case strings.HasSuffix(name, CorruptSuffix):
 			info.Kind = "corrupt"
 		default:
-			data, err := os.ReadFile(s.Path(name))
+			data, err := s.fs.ReadFile(s.Path(name))
 			if err != nil {
 				info.Kind = "foreign"
 				info.Err = err
@@ -283,7 +297,7 @@ func (s *Store) Scan(quarantine bool) ([]ArtifactInfo, error) {
 				info.Err = err
 				if quarantine {
 					s.rec.Counter("store.integrity_errors").Inc()
-					if qerr := os.Rename(s.Path(name), s.Path(name)+CorruptSuffix); qerr == nil {
+					if qerr := s.fs.Rename(s.Path(name), s.Path(name)+CorruptSuffix); qerr == nil {
 						s.rec.Counter("store.quarantined").Inc()
 					}
 				}
@@ -307,18 +321,21 @@ type GCOptions struct {
 	// PurgeCorrupt also removes quarantined ".corrupt" files (the
 	// evidence is otherwise kept for inspection).
 	PurgeCorrupt bool
+	// DryRun lists what GC would remove without deleting anything.
+	DryRun bool
 }
 
 // GC removes debris a crashed process can leave behind: orphaned atomic-
 // write temp files older than TempAge and, on request, quarantined
 // corrupt artifacts. Lock files are deliberately never removed —
 // unlinking a lock file a peer still holds would hand later acquirers a
-// fresh inode and break mutual exclusion. Returns the removed names.
+// fresh inode and break mutual exclusion. Returns the removed names —
+// or, with DryRun set, the names that would have been removed.
 func (s *Store) GC(opts GCOptions) ([]string, error) {
 	if opts.TempAge == 0 {
 		opts.TempAge = time.Hour
 	}
-	entries, err := os.ReadDir(s.dir)
+	entries, err := s.fs.ReadDir(s.dir)
 	if err != nil {
 		return nil, err
 	}
@@ -344,7 +361,11 @@ func (s *Store) GC(opts GCOptions) ([]string, error) {
 		default:
 			continue
 		}
-		if err := os.Remove(s.Path(name)); err == nil {
+		if opts.DryRun {
+			removed = append(removed, name)
+			continue
+		}
+		if err := s.fs.Remove(s.Path(name)); err == nil {
 			removed = append(removed, name)
 		}
 	}

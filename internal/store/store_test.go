@@ -275,9 +275,29 @@ func TestScanClassifiesAndGCCollects(t *testing.T) {
 	if _, err := os.Stat(s.Path("bad.bin" + CorruptSuffix)); err != nil {
 		t.Fatalf("quarantine after Scan(true): %v", err)
 	}
+	// A dry run reports the same candidates without deleting anything.
+	planned, err := s.GC(GCOptions{TempAge: -1, PurgeCorrupt: true, DryRun: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range planned {
+		if _, err := os.Stat(s.Path(name)); err != nil {
+			t.Errorf("dry-run GC deleted %s: %v", name, err)
+		}
+	}
 	removed, err := s.GC(GCOptions{TempAge: -1, PurgeCorrupt: true})
 	if err != nil {
 		t.Fatal(err)
+	}
+	if len(planned) != len(removed) {
+		t.Errorf("dry-run planned %v but GC removed %v", planned, removed)
+	} else {
+		for i := range planned {
+			if planned[i] != removed[i] {
+				t.Errorf("dry-run planned %v but GC removed %v", planned, removed)
+				break
+			}
+		}
 	}
 	want := []string{".tmp-orphan-123", "bad.bin" + CorruptSuffix}
 	if len(removed) != 2 || removed[0] != want[0] || removed[1] != want[1] {

@@ -1,0 +1,47 @@
+package vfs
+
+import (
+	"io/fs"
+	"os"
+)
+
+// OS is the passthrough FS: every operation maps 1:1 onto the os
+// package. The zero value is ready to use.
+type OS struct{}
+
+// osFile wraps *os.File to add the Sys accessor the File interface
+// requires; everything else is the promoted *os.File method set.
+type osFile struct{ *os.File }
+
+// Sys returns the underlying *os.File (flock and other descriptor-level
+// operations need it).
+func (f osFile) Sys() any { return f.File }
+
+func wrapOS(f *os.File, err error) (File, error) {
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+func (OS) Open(name string) (File, error) { return wrapOS(os.Open(name)) }
+
+func (OS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	return wrapOS(os.OpenFile(name, flag, perm))
+}
+
+func (OS) CreateTemp(dir, pattern string) (File, error) {
+	return wrapOS(os.CreateTemp(dir, pattern))
+}
+
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+func (OS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (OS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }
+
+func (OS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (OS) Stat(name string) (fs.FileInfo, error) { return os.Stat(name) }
