@@ -252,7 +252,7 @@ func BenchmarkNUMA(b *testing.B) {
 	var single, dual uint64
 	for i := 0; i < b.N; i++ {
 		single = core.SimulateSpMV(g, core.SimOptions{Cache: full, Threads: 4, Interval: 1024}).Cache.Misses
-		dual = core.SimulateSpMVNUMA(g, half, 2, 4, 1024).TotalMisses
+		dual = core.SimulateSpMVNUMA(g, core.SimOptions{Cache: half, Threads: 4, Interval: 1024}, 2).TotalMisses
 	}
 	b.ReportMetric(float64(single)/1e3, "1sockKmiss")
 	b.ReportMetric(float64(dual)/1e3, "2sockKmiss")

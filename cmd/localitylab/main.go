@@ -86,6 +86,8 @@ func main() {
 		err = cmdIHTL(os.Args[2:])
 	case "experiment":
 		err = cmdExperiment(os.Args[2:])
+	case "compress":
+		err = cmdCompress(os.Args[2:])
 	case "obs":
 		err = cmdObs(os.Args[2:])
 	case "store":
@@ -169,6 +171,9 @@ Commands:
   experiment  regenerate a paper table or figure (table1..table7,
               fig1..fig6, edr, gap, ihtl, hybrid, brew, hilbert,
               utilization, all)
+  compress    measure the segmented compressed-CSR footprint (bytes/edge)
+              of a graph, per reordering with -algs; -out writes the
+              verified .segcsr container
   obs         inspect run manifests: obs show <m.json>, obs diff <a> <b>
   store       maintain a -cachedir artifact store: store stat|verify|gc -dir D
   bench       performance harness: bench parallel (experiment grid serial vs
@@ -182,7 +187,7 @@ Commands:
   loadtest    fire a mixed workload at a running daemon -> BENCH_serve.json
   chaos       seeded fault-injection campaign: chaos run -seed S -n N runs N
               distinct disk-fault/crash schedules against store, race,
-              checkpoint and serve workloads and checks end-to-end
+              checkpoint, serve and segwrite workloads and checks end-to-end
               invariants; chaos replay -seed S -index I reproduces one
   version     print the binary version (also: -version)
 

@@ -5,7 +5,9 @@
 // workload under each schedule in-process with crash/restart simulation,
 // and checks machine-verifiable invariants after every run: verified
 // content only, exactly-once recompute (quarantine-or-restore), valid
-// permutation checkpoints, and serve's ledger balance. Every schedule is
+// permutation checkpoints, serve's ledger balance, and atomic segmented
+// graph commits (valid, missing or quarantined — never half-readable).
+// Every schedule is
 // a pure function of (seed, index), so a failing schedule replays
 // exactly from the two numbers the campaign prints.
 package chaos
@@ -26,9 +28,11 @@ import (
 // Workloads lists the campaign's workload names in generation rotation
 // order: "store" (GetOrCompute write/read/restart), "race" (concurrent
 // GetOrCompute single-flight), "checkpoint" (perm checkpoint save →
-// restart → resume), "serve" (job submit/replay over the result cache).
+// restart → resume), "serve" (job submit/replay over the result cache),
+// "segwrite" (segmented compressed-CSR write → restart → verified
+// reopen).
 func Workloads() []string {
-	return []string{"store", "race", "checkpoint", "serve"}
+	return []string{"store", "race", "checkpoint", "serve", "segwrite"}
 }
 
 // NamedFailpoint pairs a runctl failpoint with its registry name.

@@ -1,0 +1,85 @@
+package chaos
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"graphlocality/internal/gen"
+	"graphlocality/internal/graph"
+	"graphlocality/internal/store"
+)
+
+// TestCampaignSegwriteInvariantsHold runs a focused campaign over the
+// segmented-write workload: every generated disk-fault schedule must
+// leave either a valid container, a typed miss, or a typed quarantine —
+// never a half-readable graph.
+func TestCampaignSegwriteInvariantsHold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign is seconds-long; skipped in -short")
+	}
+	rep, err := Run(Options{Seed: 5, Count: 10, ScratchDir: t.TempDir(), Workloads: []string{"segwrite"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range rep.Schedules {
+		for _, v := range s.Violations {
+			t.Errorf("schedule %d [%s] %s: %s: %s", s.Index, s.Workload, s.Spec, v.Invariant, v.Detail)
+		}
+	}
+	total := 0
+	for _, s := range rep.Schedules {
+		total += s.VFSFaults
+	}
+	if total == 0 && rep.Metrics.Counters["chaos.crashes"] == 0 {
+		t.Fatal("segwrite campaign fired zero faults — nothing was exercised")
+	}
+}
+
+// TestSegwriteOutcomeDetectsWrongGraph is the checker's self-test: a
+// container that decodes cleanly but to a different graph must be
+// reported as an atomicity violation, proving the comparison actually
+// bites (a checker that always passes proves nothing).
+func TestSegwriteOutcomeDetectsWrongGraph(t *testing.T) {
+	g := gen.SocialNetwork(6, 4, 7)
+	other := gen.SocialNetwork(6, 4, 8) // same shape, different edges
+	path := filepath.Join(t.TempDir(), "g.segcsr")
+	if _, err := graph.WriteSegmented(other, path, graph.SegmentedOptions{SegmentVertices: 16}); err != nil {
+		t.Fatal(err)
+	}
+	v := segwriteOutcome(path, g)
+	if len(v) == 0 {
+		t.Fatal("segwriteOutcome accepted a container holding a different graph")
+	}
+	if v[0].Invariant != "atomic-segmented-commit" {
+		t.Fatalf("violation = %+v, want atomic-segmented-commit", v[0])
+	}
+}
+
+// TestSegwriteOutcomeQuarantinesCorruptOpen pins the quarantine arm:
+// header-level corruption must fail the open typed, move the file to
+// .corrupt and leave nothing under the original path.
+func TestSegwriteOutcomeQuarantinesCorruptOpen(t *testing.T) {
+	g := gen.SocialNetwork(6, 4, 7)
+	path := filepath.Join(t.TempDir(), "g.segcsr")
+	if _, err := graph.WriteSegmented(g, path, graph.SegmentedOptions{SegmentVertices: 16}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[12] ^= 0x40 // inside the section table: header CRC must catch it
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if v := segwriteOutcome(path, g); len(v) != 0 {
+		t.Fatalf("typed quarantine reported violations: %+v", v)
+	}
+	if _, err := os.Stat(path + store.CorruptSuffix); err != nil {
+		t.Errorf("no quarantine file after corrupt open: %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("corrupt container still present under original path (err=%v)", err)
+	}
+}

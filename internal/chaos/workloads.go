@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"graphlocality/internal/expt"
+	"graphlocality/internal/gen"
 	"graphlocality/internal/graph"
 	"graphlocality/internal/obs"
 	"graphlocality/internal/reorder"
@@ -94,6 +95,8 @@ func workloadByName(name string) (workloadFunc, error) {
 		return checkpointWorkload, nil
 	case "serve":
 		return serveWorkload, nil
+	case "segwrite":
+		return segwriteWorkload, nil
 	}
 	return nil, fmt.Errorf("chaos: unknown workload %q (want one of %s)", name, strings.Join(Workloads(), ", "))
 }
@@ -342,6 +345,141 @@ func checkpointWorkload(e *Env) []Violation {
 		if got.Perm[i] != saved.Perm[i] {
 			return append(v, Violation{"exact-checkpoint-restore",
 				fmt.Sprintf("clean-phase perm differs at index %d", i)})
+		}
+	}
+	return v
+}
+
+// segStreamDiff streams every row of sg in one direction and compares
+// offsets and adjacency against the in-RAM graph it was written from.
+// It returns a non-empty detail string on content divergence, or the
+// latched decode error if streaming failed; ("", nil) means the
+// direction decodes to exactly the original CSR.
+func segStreamDiff(sg *graph.SegGraph, g *graph.Graph, in bool) (string, error) {
+	wantOff, wantAdj := g.OutOffsets(), g.OutEdges()
+	if in {
+		wantOff, wantAdj = g.InOffsets(), g.InEdges()
+	}
+	dir := "out"
+	if in {
+		dir = "in"
+	}
+	var rows uint32
+	cur := sg.Rows(in, 0, g.NumVertices())
+	for {
+		base, off, adj, ok := cur.Next()
+		if !ok {
+			break
+		}
+		rows += uint32(len(off) - 1)
+		for i, o := range off {
+			if o != wantOff[int(base)+i] {
+				return fmt.Sprintf("%s offset[%d] = %d, want %d", dir, int(base)+i, o, wantOff[int(base)+i]), nil
+			}
+		}
+		want := wantAdj[off[0]:off[len(off)-1]]
+		if len(adj) != len(want) {
+			return fmt.Sprintf("%s span at vertex %d has %d edges, want %d", dir, base, len(adj), len(want)), nil
+		}
+		for i := range adj {
+			if adj[i] != want[i] {
+				return fmt.Sprintf("%s edge %d of vertex span %d = %d, want %d", dir, i, base, adj[i], want[i]), nil
+			}
+		}
+	}
+	if err := sg.Err(); err != nil {
+		return "", err
+	}
+	if rows != g.NumVertices() {
+		return fmt.Sprintf("%s stream covered %d vertices, want %d", dir, rows, g.NumVertices()), nil
+	}
+	return "", nil
+}
+
+// segwriteOutcome classifies the outcome of reopening a segmented
+// container after a faulted write: legal outcomes are a bit-exact graph,
+// a typed not-exist miss (lost commit), or detected corruption — a typed
+// quarantine at open or a typed *store.IntegrityError from the
+// per-segment CRC while streaming. Silently wrong edges or an untyped
+// failure break the contract.
+func segwriteOutcome(path string, g *graph.Graph) []Violation {
+	sg, err := graph.OpenSegmented(path)
+	switch {
+	case err == nil:
+		defer sg.Close()
+		if sg.NumVertices() != g.NumVertices() || sg.NumEdges() != g.NumEdges() {
+			return []Violation{{"atomic-segmented-commit",
+				fmt.Sprintf("reopened container has %d vertices / %d edges, want %d / %d",
+					sg.NumVertices(), sg.NumEdges(), g.NumVertices(), g.NumEdges())}}
+		}
+		for _, in := range []bool{false, true} {
+			detail, serr := segStreamDiff(sg, g, in)
+			if serr != nil {
+				var ie *store.IntegrityError
+				if !errors.As(serr, &ie) {
+					return []Violation{{"typed-segmented-miss",
+						fmt.Sprintf("segment decode failed with untyped error: %v", serr)}}
+				}
+				return nil // per-segment CRC caught the corruption: detected, typed
+			}
+			if detail != "" {
+				return []Violation{{"atomic-segmented-commit",
+					"reopened container decodes to a different graph: " + detail}}
+			}
+		}
+		return nil
+	case os.IsNotExist(err):
+		return nil // lost commit: typed miss, nothing half-readable on disk
+	default:
+		var ie *store.IntegrityError
+		if !errors.As(err, &ie) {
+			return []Violation{{"typed-segmented-miss",
+				fmt.Sprintf("open failed with untyped error: %v", err)}}
+		}
+		var v []Violation
+		if ie.Quarantined == "" {
+			v = append(v, Violation{"quarantine-on-corruption",
+				fmt.Sprintf("open detected corruption but did not quarantine: %v", ie)})
+		}
+		if _, serr := os.Stat(path); serr == nil {
+			v = append(v, Violation{"quarantine-on-corruption",
+				"corrupt container still sits under its original path after quarantine"})
+		}
+		return v
+	}
+}
+
+// segwriteWorkload writes a graph's segmented compressed container
+// (graph.WriteSegmented) through the faulted filesystem, restarts, and
+// reopens, checking the out-of-core atomicity contract: the path holds
+// either a container that decodes bit-exactly to the written graph, or
+// nothing (typed not-exist after a lost commit), or corruption that the
+// verification layers catch and type — never a half-readable graph and
+// never an untyped failure. A clean restart must then be able to write
+// and reopen exactly.
+func segwriteWorkload(e *Env) []Violation {
+	var v []Violation
+	g := gen.SocialNetwork(6, 4, 7)
+	path := filepath.Join(e.Dir, "graph.segcsr")
+	// Small segments so faults land inside the segment machinery, not
+	// just the container header. A failed (or crashed) write is a legal
+	// outcome — the contract is about what it left on disk, checked after
+	// the restart.
+	_, _ = graph.WriteSegmented(g, path, graph.SegmentedOptions{SegmentVertices: 16, FS: e.FS()})
+
+	e.Restart()
+
+	v = append(v, segwriteOutcome(path, g)...)
+
+	// Clean-restart liveness: with faults gone the write must commit and
+	// reopen bit-exactly.
+	if _, err := graph.WriteSegmented(g, path, graph.SegmentedOptions{SegmentVertices: 16}); err != nil {
+		return append(v, Violation{"clean-restart-liveness",
+			fmt.Sprintf("clean WriteSegmented failed: %v", err)})
+	}
+	if cv := segwriteOutcome(path, g); len(cv) > 0 {
+		for _, c := range cv {
+			v = append(v, Violation{"clean-restart-liveness", c.Invariant + ": " + c.Detail})
 		}
 	}
 	return v

@@ -32,7 +32,7 @@ const simBatchSize = trace.DefaultBatchSize
 // Cancellation is coarser than the scalar path's PollEvery: the context is
 // checked once per block, and a canceled run's counters cover a whole
 // number of blocks.
-func simulateBatched(g *graph.Graph, opts SimOptions) SimResult {
+func simulateBatched(g graph.Topology, opts SimOptions) SimResult {
 	if opts.Threads < 1 {
 		opts.Threads = 1
 	}

@@ -66,7 +66,7 @@ type attrPart struct {
 // SimulateSpMVReference) for every option combination; see the pipeline
 // model above. Cancellation granularity is one block at the cache stage,
 // like the batched path.
-func simulateMulticore(g *graph.Graph, opts SimOptions) SimResult {
+func simulateMulticore(g graph.Topology, opts SimOptions) SimResult {
 	if opts.Threads < 1 {
 		opts.Threads = 1
 	}
@@ -114,12 +114,7 @@ func simulateMulticore(g *graph.Graph, opts SimOptions) SimResult {
 	// partitions and cannot be chunked; it runs as one producer.
 	var ranges []graph.Range
 	if opts.Threads == 1 {
-		n := workers * mcChunksPerWorker
-		if opts.Direction == trace.Pull {
-			ranges = g.PartitionEdgeBalancedIn(n)
-		} else {
-			ranges = g.PartitionEdgeBalancedOut(n)
-		}
+		ranges = g.PartitionEdgeBalanced(opts.Direction == trace.Pull, workers*mcChunksPerWorker)
 	} else {
 		ranges = []graph.Range{{Lo: 0, Hi: nv}}
 	}

@@ -14,35 +14,42 @@ type NUMAResult struct {
 	TotalMisses uint64
 }
 
-// SimulateSpMVNUMA models the paper's 2-socket machine shape: `threads`
+// SimulateSpMVNUMA models the paper's 2-socket machine shape: the
 // emulated workers are split evenly across `sockets`, each socket has its
 // own shared L3 of the given geometry, and each worker's accesses go to
 // its socket's cache. Compared to the single-cache simulation this
 // exposes the cost of splitting the shared working set: vertex data hot
 // on both sockets occupies lines in both caches.
-func SimulateSpMVNUMA(g *graph.Graph, cfg cachesim.Config, sockets, threads, interval int) NUMAResult {
+//
+// g is any Topology (in-RAM or segment-backed). Honoured options:
+// Direction (default Pull), Threads (raised to at least `sockets`),
+// Interval (replay slice granularity, default 1024) and Cache.
+func SimulateSpMVNUMA(g graph.Topology, opts SimOptions, sockets int) NUMAResult {
 	if sockets < 1 {
 		sockets = 1
 	}
-	if threads < sockets {
-		threads = sockets
+	if opts.Threads < sockets {
+		opts.Threads = sockets
 	}
-	if cfg == (cachesim.Config{}) {
-		cfg = cachesim.ScaledL3(g.NumVertices(), cachesim.DefaultVertexCacheFraction)
+	if opts.Interval < 1 {
+		opts.Interval = 1024
+	}
+	if opts.Cache == (cachesim.Config{}) {
+		opts.Cache = cachesim.ScaledL3(g.NumVertices(), cachesim.DefaultVertexCacheFraction)
 	}
 	caches := make([]*cachesim.Cache, sockets)
 	for i := range caches {
-		caches[i] = cachesim.New(cfg)
+		caches[i] = cachesim.New(opts.Cache)
 	}
 	layout := trace.NewLayout(g)
-	logs := trace.CollectLogs(g, layout, trace.Pull, threads)
-	perSocket := (threads + sockets - 1) / sockets
+	logs := trace.CollectLogs(g, layout, opts.Direction, opts.Threads)
+	perSocket := (opts.Threads + sockets - 1) / sockets
 	// Each replayed interval slice belongs to one thread — and therefore to
 	// one socket — so the whole slice feeds that socket's cache in a single
 	// batched call. Scratch buffers are reused across slices.
-	addrs := make([]uint64, 0, interval)
-	writes := make([]bool, 0, interval)
-	trace.ReplayBatched(logs, interval, func(thread int, block []trace.Access) {
+	addrs := make([]uint64, 0, opts.Interval)
+	writes := make([]bool, 0, opts.Interval)
+	trace.ReplayBatched(logs, opts.Interval, func(thread int, block []trace.Access) {
 		addrs = addrs[:0]
 		writes = writes[:0]
 		for _, a := range block {
@@ -58,4 +65,12 @@ func SimulateSpMVNUMA(g *graph.Graph, cfg cachesim.Config, sockets, threads, int
 		res.TotalMisses += st.Misses
 	}
 	return res
+}
+
+// SimulateSpMVNUMACfg is the positional-argument form kept for older
+// callers.
+//
+// Deprecated: use SimulateSpMVNUMA with SimOptions.
+func SimulateSpMVNUMACfg(g *graph.Graph, cfg cachesim.Config, sockets, threads, interval int) NUMAResult {
+	return SimulateSpMVNUMA(g, SimOptions{Cache: cfg, Threads: threads, Interval: interval}, sockets)
 }

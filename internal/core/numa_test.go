@@ -10,7 +10,7 @@ import (
 func TestSimulateSpMVNUMAAccounting(t *testing.T) {
 	g := gen.WebGraph(gen.DefaultWebGraph(2048, 6, 2))
 	cfg := smallCache()
-	res := SimulateSpMVNUMA(g, cfg, 2, 4, 256)
+	res := SimulateSpMVNUMA(g, SimOptions{Cache: cfg, Threads: 4, Interval: 256}, 2)
 	if len(res.Sockets) != 2 {
 		t.Fatalf("sockets = %d", len(res.Sockets))
 	}
@@ -42,7 +42,7 @@ func TestSimulateSpMVNUMADuplicationCost(t *testing.T) {
 	half := full
 	half.Sets = full.Sets / 2
 	single := SimulateSpMV(g, SimOptions{Cache: full, Threads: 4, Interval: 256})
-	dual := SimulateSpMVNUMA(g, half, 2, 4, 256)
+	dual := SimulateSpMVNUMA(g, SimOptions{Cache: half, Threads: 4, Interval: 256}, 2)
 	if dual.TotalMisses <= single.Cache.Misses {
 		t.Errorf("dual-socket misses %d not above single shared cache %d",
 			dual.TotalMisses, single.Cache.Misses)
@@ -51,7 +51,7 @@ func TestSimulateSpMVNUMADuplicationCost(t *testing.T) {
 
 func TestSimulateSpMVNUMADegenerateArgs(t *testing.T) {
 	g := gen.Ring(100)
-	res := SimulateSpMVNUMA(g, smallCache(), 0, 0, 0)
+	res := SimulateSpMVNUMA(g, SimOptions{Cache: smallCache()}, 0)
 	if len(res.Sockets) != 1 {
 		t.Errorf("degenerate sockets = %d, want 1", len(res.Sockets))
 	}
@@ -59,8 +59,25 @@ func TestSimulateSpMVNUMADegenerateArgs(t *testing.T) {
 		t.Error("degenerate run lost accesses")
 	}
 	// Default cache config path.
-	def := SimulateSpMVNUMA(g, SimOptions{}.Cache, 2, 2, 16)
+	def := SimulateSpMVNUMA(g, SimOptions{Threads: 2, Interval: 16}, 2)
 	if def.TotalMisses == 0 {
 		t.Error("default-config NUMA run produced no misses")
+	}
+}
+
+// TestSimulateSpMVNUMACfgShim pins the deprecated positional form to the
+// SimOptions form: same arguments, identical result.
+func TestSimulateSpMVNUMACfgShim(t *testing.T) {
+	g := gen.SocialNetwork(10, 11, 3)
+	cfg := smallCache()
+	want := SimulateSpMVNUMA(g, SimOptions{Cache: cfg, Threads: 4, Interval: 128}, 2)
+	got := SimulateSpMVNUMACfg(g, cfg, 2, 4, 128)
+	if got.TotalMisses != want.TotalMisses || len(got.Sockets) != len(want.Sockets) {
+		t.Fatalf("shim diverged: %+v vs %+v", got, want)
+	}
+	for i := range got.Sockets {
+		if got.Sockets[i] != want.Sockets[i] {
+			t.Fatalf("socket %d diverged: %+v vs %+v", i, got.Sockets[i], want.Sockets[i])
+		}
 	}
 }

@@ -35,12 +35,25 @@ func (r SegmentedResult) MissRate() float64 {
 // while keeping the *relative* error between reorderings at 1.4%, which
 // is what the analysis depends on. Use SimulateSpMV for the exact
 // (sequential) numbers.
-func SimulateSpMVSegmented(g *graph.Graph, cfg cachesim.Config, threads, interval, segments int) SegmentedResult {
+//
+// g is any Topology (in-RAM or segment-backed). Honoured options:
+// Direction (default Pull, as the paper simulates), Threads and Interval
+// (the emulated interleaving), Cache, and Workers, which bounds the
+// number of segment replays running concurrently (0 = one goroutine per
+// segment). The replayed stream is materialized once, so the result is
+// identical for every Workers value.
+func SimulateSpMVSegmented(g graph.Topology, opts SimOptions, segments int) SegmentedResult {
 	if segments < 1 {
 		segments = 1
 	}
-	if cfg == (cachesim.Config{}) {
-		cfg = cachesim.ScaledL3(g.NumVertices(), cachesim.DefaultVertexCacheFraction)
+	if opts.Threads < 1 {
+		opts.Threads = 1
+	}
+	if opts.Interval < 1 {
+		opts.Interval = 1024
+	}
+	if opts.Cache == (cachesim.Config{}) {
+		opts.Cache = cachesim.ScaledL3(g.NumVertices(), cachesim.DefaultVertexCacheFraction)
 	}
 	layout := trace.NewLayout(g)
 
@@ -57,15 +70,19 @@ func SimulateSpMVSegmented(g *graph.Graph, cfg cachesim.Config, threads, interva
 		}
 		return true
 	}
-	if threads <= 1 {
-		trace.RunBatched(g, layout, trace.Pull, 0, sink)
+	if opts.Threads <= 1 {
+		trace.RunBatched(g, layout, opts.Direction, 0, sink)
 	} else {
-		trace.RunParallelBatched(g, layout, trace.Pull, threads, interval, 0, sink)
+		trace.RunParallelBatched(g, layout, opts.Direction, opts.Threads, opts.Interval, 0, sink)
 	}
 
 	res := SegmentedResult{Accesses: uint64(len(addrs)), Segments: segments}
 	per := (len(addrs) + segments - 1) / segments
 	misses := make([]uint64, segments)
+	var sem chan struct{}
+	if opts.Workers > 0 {
+		sem = make(chan struct{}, opts.Workers)
+	}
 	var wg sync.WaitGroup
 	for s := 0; s < segments; s++ {
 		lo := s * per
@@ -79,7 +96,11 @@ func SimulateSpMVSegmented(g *graph.Graph, cfg cachesim.Config, threads, interva
 		wg.Add(1)
 		go func(s, lo, hi int) {
 			defer wg.Done()
-			c := cachesim.New(cfg)
+			if sem != nil {
+				sem <- struct{}{}
+				defer func() { <-sem }()
+			}
+			c := cachesim.New(opts.Cache)
 			c.AccessBatch(addrs[lo:hi], writes[lo:hi], nil)
 			misses[s] = c.Stats().Misses
 		}(s, lo, hi)
@@ -89,4 +110,12 @@ func SimulateSpMVSegmented(g *graph.Graph, cfg cachesim.Config, threads, interva
 		res.Misses += m
 	}
 	return res
+}
+
+// SimulateSpMVSegmentedCfg is the positional-argument form kept for
+// older callers.
+//
+// Deprecated: use SimulateSpMVSegmented with SimOptions.
+func SimulateSpMVSegmentedCfg(g *graph.Graph, cfg cachesim.Config, threads, interval, segments int) SegmentedResult {
+	return SimulateSpMVSegmented(g, SimOptions{Cache: cfg, Threads: threads, Interval: interval}, segments)
 }

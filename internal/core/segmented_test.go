@@ -13,7 +13,7 @@ func TestSegmentedMatchesExactWithOneSegment(t *testing.T) {
 	g := gen.WebGraph(gen.DefaultWebGraph(2048, 6, 1))
 	cfg := smallCache()
 	exact := SimulateSpMV(g, SimOptions{Cache: cfg, Threads: 4, Interval: 256})
-	seg := SimulateSpMVSegmented(g, cfg, 4, 256, 1)
+	seg := SimulateSpMVSegmented(g, SimOptions{Cache: cfg, Threads: 4, Interval: 256}, 1)
 	if seg.Misses != exact.Cache.Misses {
 		t.Errorf("1-segment misses %d != exact %d", seg.Misses, exact.Cache.Misses)
 	}
@@ -30,7 +30,7 @@ func TestSegmentedErrorBounded(t *testing.T) {
 	g := gen.SocialNetwork(12, 12, 5)
 	cfg := smallCache()
 	exact := SimulateSpMV(g, SimOptions{Cache: cfg, Threads: 4, Interval: 256})
-	seg := SimulateSpMVSegmented(g, cfg, 4, 256, 4)
+	seg := SimulateSpMVSegmented(g, SimOptions{Cache: cfg, Threads: 4, Interval: 256}, 4)
 	if seg.Misses < exact.Cache.Misses {
 		t.Errorf("segmented %d below exact %d — cold starts should only add misses",
 			seg.Misses, exact.Cache.Misses)
@@ -54,8 +54,8 @@ func TestSegmentedPreservesRelativeOrdering(t *testing.T) {
 
 	exactRO := SimulateSpMV(ro, SimOptions{Cache: cfg, Threads: 4}).Cache.Misses
 	exactSB := SimulateSpMV(sb, SimOptions{Cache: cfg, Threads: 4}).Cache.Misses
-	segRO := SimulateSpMVSegmented(ro, cfg, 4, 1024, 8).Misses
-	segSB := SimulateSpMVSegmented(sb, cfg, 4, 1024, 8).Misses
+	segRO := SimulateSpMVSegmented(ro, SimOptions{Cache: cfg, Threads: 4, Interval: 1024}, 8).Misses
+	segSB := SimulateSpMVSegmented(sb, SimOptions{Cache: cfg, Threads: 4, Interval: 1024}, 8).Misses
 
 	if (exactRO < exactSB) != (segRO < segSB) {
 		t.Fatalf("segmented simulation inverted the RO-vs-SB ordering: exact %d/%d, segmented %d/%d",
@@ -71,12 +71,36 @@ func TestSegmentedPreservesRelativeOrdering(t *testing.T) {
 
 func TestSegmentedDegenerateArgs(t *testing.T) {
 	g := gen.Ring(50)
-	res := SimulateSpMVSegmented(g, smallCache(), 1, 0, 0)
+	res := SimulateSpMVSegmented(g, SimOptions{Cache: smallCache(), Threads: 1}, 0)
 	if res.Segments != 1 || res.Accesses != trace.CountAccesses(g) {
 		t.Errorf("degenerate result: %+v", res)
 	}
 	var empty SegmentedResult
 	if empty.MissRate() != 0 {
 		t.Error("empty MissRate should be 0")
+	}
+}
+
+// TestSimulateSpMVSegmentedCfgShim pins the deprecated positional form
+// to the SimOptions form: same arguments, identical result.
+func TestSimulateSpMVSegmentedCfgShim(t *testing.T) {
+	g := gen.SocialNetwork(10, 11, 4)
+	cfg := smallCache()
+	want := SimulateSpMVSegmented(g, SimOptions{Cache: cfg, Threads: 4, Interval: 128}, 4)
+	got := SimulateSpMVSegmentedCfg(g, cfg, 4, 128, 4)
+	if got != want {
+		t.Fatalf("shim diverged: %+v vs %+v", got, want)
+	}
+}
+
+// TestSegmentedWorkersBound: bounding real concurrency with Workers must
+// not change the result (the stream is materialized before replay).
+func TestSegmentedWorkersBound(t *testing.T) {
+	g := gen.SocialNetwork(10, 11, 6)
+	cfg := smallCache()
+	unbounded := SimulateSpMVSegmented(g, SimOptions{Cache: cfg, Threads: 4, Interval: 128}, 8)
+	bounded := SimulateSpMVSegmented(g, SimOptions{Cache: cfg, Threads: 4, Interval: 128, Workers: 1}, 8)
+	if unbounded != bounded {
+		t.Fatalf("Workers changed the segmented result: %+v vs %+v", bounded, unbounded)
 	}
 }

@@ -88,12 +88,18 @@ type SimResult struct {
 // per opts and returns the counters. This is the engine behind Fig. 1,
 // Tables III, IV (simulated columns), V and VI.
 //
+// g is any Topology: the in-RAM *graph.Graph or an out-of-core
+// *graph.SegGraph, whose segments stream through the same batched path
+// without materializing the full CSR. The SimResult is bit-identical
+// across representations (addresses are functions of absolute indices
+// only; the differential wall in segdiff_test.go enforces it).
+//
 // It runs on the batched fast path (see simulateBatched), which is
 // bit-identical to — and several times faster than — the scalar reference
 // implementation SimulateSpMVReference. With opts.Workers > 1 (and more
 // than one core available) it runs the multicore pipeline instead, which
 // is bit-identical to both.
-func SimulateSpMV(g *graph.Graph, opts SimOptions) SimResult {
+func SimulateSpMV(g graph.Topology, opts SimOptions) SimResult {
 	if opts.Workers > 1 && runtime.GOMAXPROCS(0) > 1 {
 		return simulateMulticore(g, opts)
 	}
@@ -190,7 +196,7 @@ func SimulateSpMVReference(g *graph.Graph, opts SimOptions) SimResult {
 // line the random vertex-data accesses of a pull SpMV actually touch,
 // under the given cache geometry — a direct spatial-locality metric:
 // orderings with strong type-I/III locality use most of every line.
-func LineUtilization(g *graph.Graph, cfg cachesim.Config) cachesim.UtilizationStats {
+func LineUtilization(g graph.Topology, cfg cachesim.Config) cachesim.UtilizationStats {
 	if cfg == (cachesim.Config{}) {
 		cfg = cachesim.ScaledL3(g.NumVertices(), cachesim.DefaultVertexCacheFraction)
 	}

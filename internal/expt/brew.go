@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"graphlocality/internal/core"
+	"graphlocality/internal/graph"
 	"graphlocality/internal/reorder"
 	"graphlocality/internal/trace"
 )
@@ -70,6 +71,11 @@ type BrewRow struct {
 	// Fig. 1 view folded to two columns.
 	LowDegMissPct  float64
 	HighDegMissPct float64
+	// BytesPerEdge is the delta-gap + varint compressed size of the
+	// relabeled CSR in bytes per edge (segcsr's on-disk codec; raw CSR is
+	// 4 B/edge). Good orderings pull neighbours together in ID space and
+	// shrink the gaps, so this doubles as a storage-side locality metric.
+	BytesPerEdge float64
 }
 
 // brewDegreeSplit is the in-degree boundary between the low-degree and
@@ -117,13 +123,14 @@ func BrewExperiment(s *Session, datasets []Dataset) []BrewRow {
 			SnapshotEvery: every,
 		})
 		row := BrewRow{
-			Dataset:     c.ds.Name,
-			Algorithm:   c.alg.Name(),
-			Class:       c.class,
-			MeanAID:     core.MeanAID(g),
-			Packing:     core.PackingFactorParallel(g, s.analysisShards()),
-			ECSPct:      sim.ECS,
-			MissRatePct: 100 * sim.Cache.MissRate(),
+			Dataset:      c.ds.Name,
+			Algorithm:    c.alg.Name(),
+			Class:        c.class,
+			MeanAID:      core.MeanAID(g),
+			Packing:      core.PackingFactorParallel(g, s.analysisShards()),
+			ECSPct:       sim.ECS,
+			MissRatePct:  100 * sim.Cache.MissRate(),
+			BytesPerEdge: graph.MeasureSegmented(g, graph.SegmentedOptions{}).BytesPerEdge(),
 		}
 		row.LowDegMissPct, row.HighDegMissPct = missRateByDegreeSplit(sim, g.InDegrees())
 		return row
@@ -159,11 +166,11 @@ func missRateByDegreeSplit(sim core.SimResult, inDeg []uint32) (lowPct, highPct 
 func RenderBrew(rows []BrewRow) string {
 	var b strings.Builder
 	w := newTab(&b)
-	fmt.Fprintln(w, "Dataset\tRA\tClass\tMean AID\tPacking\tECS %\tMiss %\tMiss % (deg<8)\tMiss % (deg>=8)")
+	fmt.Fprintln(w, "Dataset\tRA\tClass\tMean AID\tPacking\tECS %\tMiss %\tMiss % (deg<8)\tMiss % (deg>=8)\tB/edge")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%s\t%s\t%s\t%.1f\t%.3f\t%.1f\t%.2f\t%.2f\t%.2f\n",
+		fmt.Fprintf(w, "%s\t%s\t%s\t%.1f\t%.3f\t%.1f\t%.2f\t%.2f\t%.2f\t%.3f\n",
 			r.Dataset, r.Algorithm, r.Class, r.MeanAID, r.Packing, r.ECSPct,
-			r.MissRatePct, r.LowDegMissPct, r.HighDegMissPct)
+			r.MissRatePct, r.LowDegMissPct, r.HighDegMissPct, r.BytesPerEdge)
 	}
 	w.Flush()
 	return b.String()

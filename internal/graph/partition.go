@@ -25,17 +25,28 @@ func (g *Graph) PartitionEdgeBalancedIn(p int) []Range {
 }
 
 func partitionByOffsets(off []uint64, n uint32, p int) []Range {
+	return partitionByOffsetFn(func(v uint32) uint64 { return off[v] }, n, p)
+}
+
+// partitionByOffsetFn is the partitioner over an offset accessor instead
+// of a materialized array, so segment-backed graphs produce *identical*
+// partition boundaries to the in-RAM graph (the emulated-parallel
+// interleaved access stream depends on them being the same). Queries are
+// monotonically non-decreasing after the initial off(n) total, which
+// keeps a segment-cursor implementation cheap.
+func partitionByOffsetFn(off func(uint32) uint64, n uint32, p int) []Range {
 	if p < 1 {
 		p = 1
 	}
-	total := off[n]
+	total := off(n)
 	ranges := make([]Range, 0, p)
 	var lo uint32
 	for i := 0; i < p && lo < n; i++ {
 		// Edges this partition should own: even split of the remainder.
-		target := off[lo] + (total-off[lo])/uint64(p-i)
+		offLo := off(lo)
+		target := offLo + (total-offLo)/uint64(p-i)
 		hi := lo + 1 // at least one vertex per partition
-		for hi < n && off[hi] < target {
+		for hi < n && off(hi) < target {
 			hi++
 		}
 		if i == p-1 {

@@ -1,0 +1,134 @@
+package segcsr
+
+import "encoding/binary"
+
+// Segment payload codec. A segment covers vertices [lo, hi); its payload
+// is, per vertex in order: uvarint(degree), then the row's gaps —
+// zig-zag varint(first neighbour − vertex ID) and uvarint(neighbour −
+// predecessor) for the rest (rows are sorted ascending, so later gaps
+// are non-negative; equal neighbours — parallel edges — encode as gap
+// 0). The decoder re-derives absolute offsets from the segment's first
+// edge index, so payloads are self-contained given the index entry.
+
+func zigzag(x int64) uint64 {
+	return uint64((x << 1) ^ (x >> 63))
+}
+
+func unzigzag(u uint64) int64 {
+	return int64(u>>1) ^ -int64(u&1)
+}
+
+// appendSegment encodes the rows of vertices [lo, hi) from the raw CSR
+// arrays onto dst and returns the extended slice.
+func appendSegment(dst []byte, c CSR, lo, hi uint32) []byte {
+	for v := lo; v < hi; v++ {
+		row := c.Adj[c.Off[v]:c.Off[v+1]]
+		dst = binary.AppendUvarint(dst, uint64(len(row)))
+		prev := int64(v)
+		for i, u := range row {
+			if i == 0 {
+				dst = binary.AppendUvarint(dst, zigzag(int64(u)-prev))
+			} else {
+				dst = binary.AppendUvarint(dst, uint64(int64(u)-prev))
+			}
+			prev = int64(u)
+		}
+	}
+	return dst
+}
+
+// EncodedBytes returns the exact payload size of the whole adjacency
+// under the segment codec, without materializing it. The encoding is
+// per-vertex, so the result is independent of segment geometry — which
+// makes bytes/edge (EncodedBytes / |E|) a representation-free
+// compression metric per ordering.
+func EncodedBytes(c CSR) uint64 {
+	var total uint64
+	n := uint32(len(c.Off) - 1)
+	for v := uint32(0); v < n; v++ {
+		row := c.Adj[c.Off[v]:c.Off[v+1]]
+		total += uint64(uvarintLen(uint64(len(row))))
+		prev := int64(v)
+		for i, u := range row {
+			if i == 0 {
+				total += uint64(uvarintLen(zigzag(int64(u) - prev)))
+			} else {
+				total += uint64(uvarintLen(uint64(int64(u) - prev)))
+			}
+			prev = int64(u)
+		}
+	}
+	return total
+}
+
+func uvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}
+
+// decodeSegment decodes one verified segment payload covering vertices
+// [lo, hi) whose rows span absolute edge indices [firstEdge,
+// firstEdge+edges). It returns absolute offsets (len hi-lo+1, off[0] =
+// firstEdge) and the rows' neighbours. Every structural claim is
+// checked — varint termination, degree sums, neighbour bounds, row
+// sortedness, exact payload consumption — and any violation is a typed
+// *store.IntegrityError, so a payload that collides with its CRC32C
+// still cannot smuggle an invalid row into the simulator (or panic it).
+func decodeSegment(payload []byte, lo, hi, n uint32, firstEdge, edges uint64) ([]uint64, []uint32, error) {
+	nv := int(hi - lo)
+	off := make([]uint64, nv+1)
+	adj := make([]uint32, 0, edges)
+	off[0] = firstEdge
+	pos := 0
+	next := func() (uint64, bool) {
+		u, k := binary.Uvarint(payload[pos:])
+		if k <= 0 {
+			return 0, false
+		}
+		pos += k
+		return u, true
+	}
+	for i := 0; i < nv; i++ {
+		deg, ok := next()
+		if !ok {
+			return nil, nil, corruptf("segment [%d,%d): vertex %d: bad degree varint at byte %d", lo, hi, lo+uint32(i), pos)
+		}
+		// No standalone degree bound: parallel edges legally push a
+		// degree past |V|. The edge-count check below bounds both loop
+		// work and memory (adj's capacity is the index's edge count,
+		// itself bounded by real payload bytes at index parse).
+		if uint64(len(adj))+deg > edges {
+			return nil, nil, corruptf("segment [%d,%d): rows overflow the %d edges the index assigns", lo, hi, edges)
+		}
+		prev := int64(lo + uint32(i))
+		for k := uint64(0); k < deg; k++ {
+			gap, ok := next()
+			if !ok {
+				return nil, nil, corruptf("segment [%d,%d): vertex %d: bad gap varint at byte %d", lo, hi, lo+uint32(i), pos)
+			}
+			var u int64
+			if k == 0 {
+				u = prev + unzigzag(gap)
+			} else {
+				u = prev + int64(gap)
+			}
+			if u < 0 || u >= int64(n) {
+				return nil, nil, corruptf("segment [%d,%d): vertex %d: neighbour %d out of range (n=%d)", lo, hi, lo+uint32(i), u, n)
+			}
+			adj = append(adj, uint32(u))
+			prev = u
+		}
+		off[i+1] = firstEdge + uint64(len(adj))
+	}
+	if uint64(len(adj)) != edges {
+		return nil, nil, corruptf("segment [%d,%d): decoded %d edges, index claims %d", lo, hi, len(adj), edges)
+	}
+	if pos != len(payload) {
+		return nil, nil, corruptf("segment [%d,%d): %d trailing payload bytes", lo, hi, len(payload)-pos)
+	}
+	return off, adj, nil
+}

@@ -1,0 +1,84 @@
+// Package segcsr implements the segmented, compressed CSR/CSC container
+// format behind graph.SegGraph: the out-of-core representation that lets
+// the simulators stream graphs larger than memory.
+//
+// The vertex set is cut into fixed-size segments of SegmentVertices
+// consecutive vertices. Each segment's adjacency rows are delta-gap +
+// varint encoded (per vertex: LEB128 degree, then the first neighbour as
+// a zig-zag gap from the vertex ID and every later neighbour as an
+// unsigned gap from its predecessor — the classic WebGraph-style scheme,
+// and byte-identical to core.CompressedAdjacencyBytes' accounting for
+// the gap part). Good reorderings put neighbours close together in ID
+// space, so they shrink the gaps: compressed bytes/edge is itself a
+// locality metric, reported per reordering by `experiment brew` and
+// `localitylab compress`.
+//
+// On disk a segmented graph is one GLAS container (internal/store
+// framing: header-CRC-guarded section table, per-section CRC32C) with
+// five sections:
+//
+//	segmeta      fixed 24-byte header: format version, |V|, |E|,
+//	             segment vertices, segment count
+//	segidx.out   per-segment index for the CSR direction: first edge
+//	             index, payload offset, payload length, payload CRC32C
+//	segidx.in    the same for the CSC direction
+//	segdata.out  concatenated encoded CSR segment payloads
+//	segdata.in   concatenated encoded CSC segment payloads
+//
+// Reads go through store.ContainerFile's random access: the table,
+// segmeta and both indexes are fully verified at Open; segment payloads
+// are fetched on demand with ReadAt and verified against their index
+// CRC32C before a single byte is decoded — so no unverified data ever
+// reaches a caller, yet opening a terabyte graph reads only kilobytes.
+// Decoded segments live in a byte-budgeted LRU cache instrumented
+// through internal/obs.
+//
+// All verification failures are typed *store.IntegrityError; corrupt
+// inputs never panic (FuzzReadSegmented holds that line).
+package segcsr
+
+import (
+	"fmt"
+
+	"graphlocality/internal/store"
+)
+
+const (
+	// FormatVersion is the segmeta format version this package writes
+	// and the only one it reads.
+	FormatVersion = 1
+
+	// DefaultSegmentVertices is the default segment granularity: small
+	// enough that a decoded segment of even a dense graph stays a few
+	// MiB, large enough that per-segment overhead (24 index bytes, one
+	// cache probe) is noise.
+	DefaultSegmentVertices = 1 << 14
+
+	// DefaultCacheBytes is the default decoded-segment cache budget.
+	DefaultCacheBytes = 64 << 20
+
+	// Section names inside the GLAS container.
+	SectionMeta    = "segmeta"
+	SectionIdxOut  = "segidx.out"
+	SectionIdxIn   = "segidx.in"
+	SectionDataOut = "segdata.out"
+	SectionDataIn  = "segdata.in"
+
+	// metaBytes is the fixed size of the segmeta section.
+	metaBytes = 24
+	// idxEntryBytes is the fixed size of one index entry.
+	idxEntryBytes = 24
+)
+
+// corruptf builds the package's typed verification error.
+func corruptf(format string, args ...any) error {
+	return &store.IntegrityError{Reason: "segcsr: " + fmt.Sprintf(format, args...)}
+}
+
+// CSR is one direction's raw compressed-sparse-row input to Write:
+// offsets (len |V|+1, monotone, Off[|V|] = |E|) and the concatenated
+// ascending adjacency rows.
+type CSR struct {
+	Off []uint64
+	Adj []uint32
+}

@@ -1,0 +1,177 @@
+package graph
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"graphlocality/internal/store"
+)
+
+func randGraph(rng *rand.Rand, n uint32, m int) *Graph {
+	edges := make([]Edge, m)
+	for i := range edges {
+		edges[i] = Edge{Src: uint32(rng.Intn(int(n))), Dst: uint32(rng.Intn(int(n)))}
+	}
+	return FromEdges(n, edges)
+}
+
+// collectTopology materializes one direction of any Topology back into
+// raw offset/adjacency arrays through the cursor API.
+func collectTopology(t *testing.T, g Topology, in bool) ([]uint64, []uint32) {
+	t.Helper()
+	n := g.NumVertices()
+	off := make([]uint64, 0, n+1)
+	adj := make([]uint32, 0)
+	cur := g.Rows(in, 0, n)
+	for {
+		base, o, a, ok := cur.Next()
+		if !ok {
+			break
+		}
+		if len(off) == 0 {
+			if base != 0 {
+				t.Fatalf("first span starts at %d", base)
+			}
+			off = append(off, o[0])
+		}
+		off = append(off, o[1:]...)
+		adj = append(adj, a...)
+	}
+	if len(off) == 0 {
+		off = append(off, 0)
+	}
+	return off, adj
+}
+
+// TestWriteOpenSegmentedIdentity is the satellite round-trip property:
+// WriteSegmented→OpenSegmented preserves CSR/CSC offsets and edge
+// content exactly, across graph shapes and segment sizes.
+func TestWriteOpenSegmentedIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, tc := range []struct {
+		n uint32
+		m int
+	}{{4, 6}, {97, 400}, {256, 64}, {1, 3}} {
+		g := randGraph(rng, tc.n, tc.m)
+		for _, segVerts := range []int{1, 5, 64, int(tc.n) + 7} {
+			path := filepath.Join(t.TempDir(), "g.segcsr")
+			stats, err := WriteSegmented(g, path, SegmentedOptions{SegmentVertices: segVerts})
+			if err != nil {
+				t.Fatalf("n=%d seg=%d: WriteSegmented: %v", tc.n, segVerts, err)
+			}
+			if stats.NumVertices != g.NumVertices() || stats.NumEdges != g.NumEdges() {
+				t.Fatalf("stats dims %d/%d, graph %d/%d", stats.NumVertices, stats.NumEdges, g.NumVertices(), g.NumEdges())
+			}
+			sg, err := OpenSegmentedOpts(path, SegmentedOptions{SegmentVertices: segVerts})
+			if err != nil {
+				t.Fatalf("n=%d seg=%d: OpenSegmented: %v", tc.n, segVerts, err)
+			}
+			if sg.NumVertices() != g.NumVertices() || sg.NumEdges() != g.NumEdges() {
+				t.Fatalf("SegGraph dims %d/%d", sg.NumVertices(), sg.NumEdges())
+			}
+			for _, in := range []bool{false, true} {
+				wantOff, wantAdj := collectTopology(t, g, in)
+				gotOff, gotAdj := collectTopology(t, sg, in)
+				if !reflect.DeepEqual(gotOff, wantOff) {
+					t.Fatalf("n=%d seg=%d in=%v: offsets differ", tc.n, segVerts, in)
+				}
+				if !reflect.DeepEqual(gotAdj, wantAdj) {
+					t.Fatalf("n=%d seg=%d in=%v: adjacency differs", tc.n, segVerts, in)
+				}
+			}
+			if err := sg.Err(); err != nil {
+				t.Fatalf("latched error after clean read: %v", err)
+			}
+			sg.Close()
+		}
+	}
+}
+
+// TestSegmentedPartitionIdentical pins the partition boundaries to the
+// in-RAM partitioner's: the emulated-parallel interleaved access stream
+// depends on them, so they must be representation-independent.
+func TestSegmentedPartitionIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := randGraph(rng, 300, 2000)
+	path := filepath.Join(t.TempDir(), "g.segcsr")
+	if _, err := WriteSegmented(g, path, SegmentedOptions{SegmentVertices: 17}); err != nil {
+		t.Fatal(err)
+	}
+	sg, err := OpenSegmented(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sg.Close()
+	for _, in := range []bool{false, true} {
+		for _, p := range []int{1, 2, 3, 7, 16, 300, 1000} {
+			want := g.PartitionEdgeBalanced(in, p)
+			got := sg.PartitionEdgeBalanced(in, p)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("in=%v p=%d: partitions differ: %v vs %v", in, p, got, want)
+			}
+		}
+	}
+	if err := sg.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOpenSegmentedQuarantines: a corrupt segmented graph is quarantined
+// on open exactly like a corrupt store artifact, and the error is typed.
+func TestOpenSegmentedQuarantines(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := randGraph(rng, 50, 200)
+	path := filepath.Join(t.TempDir(), "g.segcsr")
+	if _, err := WriteSegmented(g, path, SegmentedOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[20] ^= 0xFF // inside the header table
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = OpenSegmentedOpts(path, SegmentedOptions{})
+	var ie *store.IntegrityError
+	if !errors.As(err, &ie) {
+		t.Fatalf("open corrupt = %v, want *store.IntegrityError", err)
+	}
+	if ie.Quarantined != path+store.CorruptSuffix {
+		t.Fatalf("Quarantined = %q, want %q", ie.Quarantined, path+store.CorruptSuffix)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("corrupt file still present: %v", err)
+	}
+	if _, err := os.Stat(path + store.CorruptSuffix); err != nil {
+		t.Fatalf("quarantine file missing: %v", err)
+	}
+}
+
+// TestSegmentedEmptyGraph pins the zero-value graph through the full
+// write/open/stream cycle.
+func TestSegmentedEmptyGraph(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.segcsr")
+	if _, err := WriteSegmented(&Graph{}, path, SegmentedOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	sg, err := OpenSegmented(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sg.Close()
+	if sg.NumVertices() != 0 || sg.NumEdges() != 0 {
+		t.Fatalf("dims %d/%d", sg.NumVertices(), sg.NumEdges())
+	}
+	if _, _, _, ok := sg.Rows(false, 0, 0).Next(); ok {
+		t.Fatal("empty graph yielded a span")
+	}
+	if got := sg.PartitionEdgeBalanced(false, 4); len(got) != 0 {
+		t.Fatalf("partitions of empty graph: %v", got)
+	}
+}

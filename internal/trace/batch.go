@@ -29,7 +29,7 @@ type BatchSink func(block []Access) bool
 // RunBatched generates the same access stream as Run, delivered in blocks
 // of up to blockSize accesses (0 = DefaultBatchSize). It reports whether
 // the traversal ran to completion.
-func RunBatched(g *graph.Graph, l Layout, dir Direction, blockSize int, sink BatchSink) bool {
+func RunBatched(g graph.Topology, l Layout, dir Direction, blockSize int, sink BatchSink) bool {
 	return RunRangeBatched(g, l, dir, graph.Range{Lo: 0, Hi: g.NumVertices()}, blockSize, sink)
 }
 
@@ -37,7 +37,7 @@ func RunBatched(g *graph.Graph, l Layout, dir Direction, blockSize int, sink Bat
 // vertices in [r.Lo, r.Hi), in blocks. Concatenating the blocks of a
 // partition of [0, |V|) reproduces Run's stream exactly. It reports
 // whether the traversal ran to completion.
-func RunRangeBatched(g *graph.Graph, l Layout, dir Direction, r graph.Range, blockSize int, sink BatchSink) bool {
+func RunRangeBatched(g graph.Topology, l Layout, dir Direction, r graph.Range, blockSize int, sink BatchSink) bool {
 	if blockSize < 1 {
 		blockSize = DefaultBatchSize
 	}
@@ -61,7 +61,7 @@ func RunRangeBatched(g *graph.Graph, l Layout, dir Direction, r graph.Range, blo
 // blockSize accesses. Block boundaries are independent of interval
 // boundaries; concatenating the blocks reproduces RunParallel's stream
 // exactly. It reports whether the traversal ran to completion.
-func RunParallelBatched(g *graph.Graph, l Layout, dir Direction, threads, interval, blockSize int, sink BatchSink) bool {
+func RunParallelBatched(g graph.Topology, l Layout, dir Direction, threads, interval, blockSize int, sink BatchSink) bool {
 	if threads < 1 {
 		threads = 1
 	}
@@ -71,12 +71,7 @@ func RunParallelBatched(g *graph.Graph, l Layout, dir Direction, threads, interv
 	if blockSize < 1 {
 		blockSize = DefaultBatchSize
 	}
-	var ranges []graph.Range
-	if dir == Pull {
-		ranges = g.PartitionEdgeBalancedIn(threads)
-	} else {
-		ranges = g.PartitionEdgeBalancedOut(threads)
-	}
+	ranges := g.PartitionEdgeBalanced(dir == Pull, threads)
 	iters := make([]*bulkIter, len(ranges))
 	for i, r := range ranges {
 		iters[i] = newBulkIter(g, l, dir, r)
@@ -135,7 +130,7 @@ type ColumnSink func(addrs []uint64, writes []bool, edgeReads int) bool
 // lowest-overhead stream shape, used by the plain (no per-vertex
 // attribution) simulation fast path. It reports whether the traversal ran
 // to completion.
-func RunColumns(g *graph.Graph, l Layout, dir Direction, blockSize int, sink ColumnSink) bool {
+func RunColumns(g graph.Topology, l Layout, dir Direction, blockSize int, sink ColumnSink) bool {
 	return RunRangeColumns(g, l, dir, graph.Range{Lo: 0, Hi: g.NumVertices()}, blockSize, sink)
 }
 
@@ -145,7 +140,7 @@ func RunColumns(g *graph.Graph, l Layout, dir Direction, blockSize int, sink Col
 // reproduces the full columnar stream exactly — the multicore simulation
 // pipeline's chunk producers rely on that property. It reports whether the
 // traversal ran to completion.
-func RunRangeColumns(g *graph.Graph, l Layout, dir Direction, r graph.Range, blockSize int, sink ColumnSink) bool {
+func RunRangeColumns(g graph.Topology, l Layout, dir Direction, r graph.Range, blockSize int, sink ColumnSink) bool {
 	if blockSize < 1 {
 		blockSize = DefaultBatchSize
 	}
@@ -204,12 +199,26 @@ func ReplayBatched(logs []ThreadLog, interval int, sink func(thread int, block [
 // produces — the stage encoding below mirrors vertexIter's states, but the
 // edges loop runs as a tight pair-emitting loop instead of one next() call
 // per access.
+//
+// Rows arrive through the topology's RowCursor as contiguous spans (a
+// single zero-copy span for the in-RAM graph, one decoded span per
+// segment for a segment-backed graph). The offset values and the
+// iterator's edge index ei are always *absolute*, so the addresses —
+// and therefore every simulated outcome — are identical across
+// representations; only the slice indexing is span-relative.
 type bulkIter struct {
-	l       Layout
-	dir     Direction
-	offsets []uint64
+	l   Layout
+	dir Direction
+	cur graph.RowCursor
+	r   graph.Range
+
+	// Current span: offsets/adjacency of [base, spanHi), with adj[0] at
+	// absolute edge index adjBase (= off[0]).
+	off     []uint64
 	adj     []uint32
-	r       graph.Range
+	base    uint32
+	adjBase uint64
+	spanHi  uint32
 
 	v    uint32 // current vertex
 	ei   uint64 // current absolute edge index
@@ -228,19 +237,44 @@ const (
 	stOwn             // emit the own-data access, advance v
 )
 
-func newBulkIter(g *graph.Graph, l Layout, dir Direction, r graph.Range) *bulkIter {
+func newBulkIter(g graph.Topology, l Layout, dir Direction, r graph.Range) *bulkIter {
 	it := &bulkIter{l: l, dir: dir, r: r, v: r.Lo}
-	if dir == Pull {
-		it.offsets = g.InOffsets()
-		it.adj = g.InEdges()
-	} else {
-		it.offsets = g.OutOffsets()
-		it.adj = g.OutEdges()
-	}
-	if r.Lo >= r.Hi {
+	it.cur = g.Rows(dir == Pull, r.Lo, r.Hi)
+	if r.Lo >= r.Hi || !it.nextSpan() {
 		it.done = true
 	}
 	return it
+}
+
+// nextSpan pulls the next contiguous span from the row cursor. It
+// returns false when the cursor is exhausted.
+func (it *bulkIter) nextSpan() bool {
+	base, off, adj, ok := it.cur.Next()
+	if !ok || len(off) < 2 {
+		return false
+	}
+	it.base, it.off, it.adj = base, off, adj
+	it.adjBase = off[0]
+	it.spanHi = base + uint32(len(off)) - 1
+	return true
+}
+
+// loadVertex positions ei/hi on it.v's row, advancing to the next span
+// when the current one is exhausted. It returns false (and marks the
+// iterator done) if no span covers it.v — a cursor-contract violation
+// that can only mean a representation bug; ending the stream early is
+// the safe response.
+func (it *bulkIter) loadVertex() bool {
+	for it.v >= it.spanHi {
+		if !it.nextSpan() {
+			it.done = true
+			return false
+		}
+	}
+	rel := it.v - it.base
+	it.ei = it.off[rel]
+	it.hi = it.off[rel+1]
+	return true
 }
 
 // fillColumns is fill in columnar form: it writes the addresses and write
@@ -256,14 +290,18 @@ func (it *bulkIter) fillColumns(addrs []uint64, writes []bool) (int, int) {
 	}
 	l := it.l
 	adj := it.adj
+	adjBase := it.adjBase
 	push := it.dir == Push
 	n := 0
 	edgeReads := 0
 	for n < len(addrs) {
 		switch it.st {
 		case stOffsets0:
-			it.ei = it.offsets[it.v]
-			it.hi = it.offsets[it.v+1]
+			if !it.loadVertex() {
+				return n, edgeReads
+			}
+			adj = it.adj
+			adjBase = it.adjBase
 			addrs[n] = l.OffsetsAddr(it.v)
 			n++
 			it.st = stOffsets1
@@ -279,7 +317,7 @@ func (it *bulkIter) fillColumns(addrs []uint64, writes []bool) (int, int) {
 			if push {
 				for k := uint64(0); k < pairs; k++ {
 					addrs[n] = l.EdgeAddr(it.ei)
-					addrs[n+1] = l.NewDataAddr(adj[it.ei])
+					addrs[n+1] = l.NewDataAddr(adj[it.ei-adjBase])
 					writes[n+1] = true
 					n += 2
 					it.ei++
@@ -287,7 +325,7 @@ func (it *bulkIter) fillColumns(addrs []uint64, writes []bool) (int, int) {
 			} else {
 				for k := uint64(0); k < pairs; k++ {
 					addrs[n] = l.EdgeAddr(it.ei)
-					addrs[n+1] = l.OldDataAddr(adj[it.ei])
+					addrs[n+1] = l.OldDataAddr(adj[it.ei-adjBase])
 					n += 2
 					it.ei++
 				}
@@ -303,10 +341,10 @@ func (it *bulkIter) fillColumns(addrs []uint64, writes []bool) (int, int) {
 			}
 		case stEdgeData:
 			if push {
-				addrs[n] = l.NewDataAddr(adj[it.ei])
+				addrs[n] = l.NewDataAddr(adj[it.ei-adjBase])
 				writes[n] = true
 			} else {
-				addrs[n] = l.OldDataAddr(adj[it.ei])
+				addrs[n] = l.OldDataAddr(adj[it.ei-adjBase])
 			}
 			n++
 			it.ei++
@@ -344,13 +382,17 @@ func (it *bulkIter) fill(dst []Access) int {
 	}
 	l := it.l
 	adj := it.adj
+	adjBase := it.adjBase
 	push := it.dir == Push
 	n := 0
 	for n < len(dst) {
 		switch it.st {
 		case stOffsets0:
-			it.ei = it.offsets[it.v]
-			it.hi = it.offsets[it.v+1]
+			if !it.loadVertex() {
+				return n
+			}
+			adj = it.adj
+			adjBase = it.adjBase
 			dst[n] = Access{Addr: l.OffsetsAddr(it.v), Kind: KindOffsets, Vertex: it.v, Dest: it.v}
 			n++
 			it.st = stOffsets1
@@ -367,7 +409,7 @@ func (it *bulkIter) fill(dst []Access) int {
 			}
 			if push {
 				for k := uint64(0); k < pairs; k++ {
-					u := adj[it.ei]
+					u := adj[it.ei-adjBase]
 					dst[n] = Access{Addr: l.EdgeAddr(it.ei), Kind: KindEdges, Vertex: it.v, Dest: it.v}
 					dst[n+1] = Access{Addr: l.NewDataAddr(u), Kind: KindVertexWrite, Write: true, Vertex: u, Dest: it.v}
 					n += 2
@@ -375,7 +417,7 @@ func (it *bulkIter) fill(dst []Access) int {
 				}
 			} else {
 				for k := uint64(0); k < pairs; k++ {
-					u := adj[it.ei]
+					u := adj[it.ei-adjBase]
 					dst[n] = Access{Addr: l.EdgeAddr(it.ei), Kind: KindEdges, Vertex: it.v, Dest: it.v}
 					dst[n+1] = Access{Addr: l.OldDataAddr(u), Kind: KindVertexRead, Vertex: u, Dest: it.v}
 					n += 2
@@ -393,7 +435,7 @@ func (it *bulkIter) fill(dst []Access) int {
 			}
 			// n == len(dst): block full, resume at stEdges.
 		case stEdgeData:
-			u := adj[it.ei]
+			u := adj[it.ei-adjBase]
 			if push {
 				dst[n] = Access{Addr: l.NewDataAddr(u), Kind: KindVertexWrite, Write: true, Vertex: u, Dest: it.v}
 			} else {

@@ -93,8 +93,10 @@ type Layout struct {
 	m           uint64
 }
 
-// NewLayout builds the canonical layout for graph g.
-func NewLayout(g *graph.Graph) Layout {
+// NewLayout builds the canonical layout for graph g. It needs only the
+// graph's dimensions, so any Topology — in-RAM or segment-backed — gets
+// the same addresses for the same |V| and |E|.
+func NewLayout(g graph.Dims) Layout {
 	const pageAlign = 1 << 21 // 2 MiB alignment between arrays
 	align := func(x uint64) uint64 { return (x + pageAlign - 1) &^ uint64(pageAlign-1) }
 	n, m := uint64(g.NumVertices()), g.NumEdges()

@@ -23,16 +23,11 @@ type ThreadLog struct {
 // CollectLogs performs phase 1: it partitions the vertex set into
 // `threads` edge-balanced partitions and records each partition's full
 // program-order access stream.
-func CollectLogs(g *graph.Graph, l Layout, dir Direction, threads int) []ThreadLog {
+func CollectLogs(g graph.Topology, l Layout, dir Direction, threads int) []ThreadLog {
 	if threads < 1 {
 		threads = 1
 	}
-	var ranges []graph.Range
-	if dir == Pull {
-		ranges = g.PartitionEdgeBalancedIn(threads)
-	} else {
-		ranges = g.PartitionEdgeBalancedOut(threads)
-	}
+	ranges := g.PartitionEdgeBalanced(dir == Pull, threads)
 	logs := make([]ThreadLog, len(ranges))
 	var wg sync.WaitGroup
 	for i, r := range ranges {
@@ -40,14 +35,13 @@ func CollectLogs(g *graph.Graph, l Layout, dir Direction, threads int) []ThreadL
 		go func(i int, r graph.Range) {
 			defer wg.Done()
 			logs[i].Thread = i
-			it := newVertexIter(g, l, dir, r)
-			for {
-				a, ok := it.next()
-				if !ok {
-					break
-				}
-				logs[i].Accesses = append(logs[i].Accesses, a)
-			}
+			// The batched generator emits the identical per-partition
+			// stream (the stream-equality tests hold the two generators
+			// together) and works for any Topology.
+			RunRangeBatched(g, l, dir, r, 0, func(block []Access) bool {
+				logs[i].Accesses = append(logs[i].Accesses, block...)
+				return true
+			})
 		}(i, r)
 	}
 	wg.Wait()

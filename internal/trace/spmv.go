@@ -220,6 +220,6 @@ func (it *vertexIter) next() (Access, bool) {
 // CountAccesses returns the exact number of accesses Run will generate:
 // per vertex two offsets reads and one own-data access, plus two accesses
 // per edge (edges element + neighbour data).
-func CountAccesses(g *graph.Graph) uint64 {
+func CountAccesses(g graph.Dims) uint64 {
 	return 3*uint64(g.NumVertices()) + 2*g.NumEdges()
 }
